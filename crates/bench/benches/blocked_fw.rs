@@ -1,0 +1,91 @@
+//! Single-node Floyd-Warshall: sequential (Alg. 1) vs blocked (Alg. 2) vs
+//! divide-and-conquer (Solomonik comparator) vs block-sparse, with the
+//! block-size sweep.
+
+use apsp_core::dc_apsp::dc_apsp;
+use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
+use apsp_core::fw_seq::fw_seq;
+use apsp_core::fw_sparse::fw_block_sparse;
+use apsp_graph::generators::{uniform_dense, WeightKind};
+use apsp_graph::graph::GraphBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use srgemm::block_sparse::BlockSparseMatrix;
+use srgemm::MinPlusF32;
+
+fn bench_fw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_node_fw");
+    g.sample_size(10);
+    let n = 384;
+    let base = uniform_dense(n, WeightKind::small_ints(), 9).to_dense();
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+
+    g.bench_function("sequential", |bch| {
+        bch.iter(|| {
+            let mut d = base.clone();
+            fw_seq::<MinPlusF32>(&mut d);
+            d
+        })
+    });
+    for &b in &[32usize, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("blocked_serial", b), &b, |bch, &b| {
+            bch.iter(|| {
+                let mut d = base.clone();
+                fw_blocked::<MinPlusF32>(&mut d, b, DiagMethod::FwClosure, false);
+                d
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_parallel", b), &b, |bch, &b| {
+            bch.iter(|| {
+                let mut d = base.clone();
+                fw_blocked::<MinPlusF32>(&mut d, b, DiagMethod::FwClosure, true);
+                d
+            })
+        });
+    }
+    g.bench_function("dc_apsp", |bch| {
+        bch.iter(|| {
+            let mut d = base.clone();
+            dc_apsp::<MinPlusF32>(&mut d, 64, false);
+            d
+        })
+    });
+    g.finish();
+}
+
+/// Block-sparse vs dense FW on a banded graph — the §7 sparse payoff.
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_fw_banded");
+    g.sample_size(10);
+    let n = 256;
+    // bandwidth-8 band graph: dense FW does 2n³ work, sparse skips
+    // far-off-band blocks in early iterations
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..n {
+        for d in 1..=8usize {
+            if i + d < n {
+                builder.add_undirected(i, i + d, (d as f32) + 1.0);
+            }
+        }
+    }
+    let graph = builder.build();
+    let dense0 = graph.to_dense();
+
+    g.bench_function("dense_blocked", |bch| {
+        bch.iter(|| {
+            let mut d = dense0.clone();
+            fw_blocked::<MinPlusF32>(&mut d, 32, DiagMethod::FwClosure, false);
+            d
+        })
+    });
+    g.bench_function("block_sparse", |bch| {
+        bch.iter(|| {
+            let mut sp = BlockSparseMatrix::from_dense(&dense0, 32, f32::INFINITY);
+            fw_block_sparse::<MinPlusF32>(&mut sp);
+            sp.nnz_blocks()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fw, bench_sparse);
+criterion_main!(benches);

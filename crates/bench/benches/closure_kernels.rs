@@ -1,0 +1,53 @@
+//! DiagUpdate ablation (paper §4.2, DESIGN.md §7): classic Floyd-Warshall
+//! closure vs repeated-squaring (Eq. 4). On a GPU the squaring form wins by
+//! turning all work into GEMMs; on a CPU the `log b` factor usually costs —
+//! exactly the trade-off the paper discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srgemm::closure::{fw_closure, fw_closure_squaring};
+use srgemm::{Matrix, MinPlusF32};
+
+fn block(n: usize, seed: u64) -> Matrix<f32> {
+    let mut state = seed | 1;
+    Matrix::from_fn(n, n, |i, j| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if i == j {
+            0.0
+        } else {
+            ((state >> 33) % 1000) as f32 + 1.0
+        }
+    })
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diag_update");
+    g.sample_size(10);
+    for &b in &[64usize, 128, 256] {
+        let base = block(b, b as u64);
+        g.bench_with_input(BenchmarkId::new("fw_closure", b), &b, |bch, _| {
+            bch.iter(|| {
+                let mut m = base.clone();
+                fw_closure::<MinPlusF32>(&mut m.view_mut());
+                m
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("squaring_serial", b), &b, |bch, _| {
+            bch.iter(|| {
+                let mut m = base.clone();
+                fw_closure_squaring::<MinPlusF32>(&mut m.view_mut(), false);
+                m
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("squaring_parallel", b), &b, |bch, _| {
+            bch.iter(|| {
+                let mut m = base.clone();
+                fw_closure_squaring::<MinPlusF32>(&mut m.view_mut(), true);
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Collective benchmarks on the thread-backed runtime: binomial tree vs
+//! pipelined ring broadcast, and the ring chunk-count ablation (§3.3,
+//! DESIGN.md §7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_sim::Runtime;
+
+fn bench_broadcasts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_8_ranks");
+    g.sample_size(10);
+    let elems = 262_144; // 1 MiB of f32
+    g.throughput(Throughput::Bytes((elems * 4) as u64));
+
+    g.bench_function("tree", |bch| {
+        bch.iter(|| {
+            Runtime::new(8).run(|comm| {
+                let data = (comm.rank() == 0).then(|| vec![1.0f32; elems]);
+                comm.bcast(0, data).len()
+            })
+        })
+    });
+    for &chunks in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("ring", chunks), &chunks, |bch, &chunks| {
+            bch.iter(|| {
+                Runtime::new(8).run(move |comm| {
+                    let data = (comm.rank() == 0).then(|| vec![1.0f32; elems]);
+                    comm.ring_bcast(0, data, chunks).len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcasts);
+criterion_main!(benches);

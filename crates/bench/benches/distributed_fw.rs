@@ -1,0 +1,30 @@
+//! End-to-end distributed Floyd-Warshall on the thread-backed runtime: all
+//! four variants on a 2×2 grid. Functional wall-clock — the at-scale timing
+//! story lives in the fig7/fig8 harnesses.
+
+use apsp_core::dist::{distributed_apsp, FwConfig, Variant};
+use apsp_graph::generators::{uniform_dense, WeightKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srgemm::MinPlusF32;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_fw_2x2");
+    g.sample_size(10);
+    let n = 192;
+    let input = uniform_dense(n, WeightKind::small_ints(), 4).to_dense();
+
+    for variant in Variant::all() {
+        g.bench_with_input(
+            BenchmarkId::new("variant", variant.legend()),
+            &variant,
+            |bch, &variant| {
+                let cfg = FwConfig::new(32, variant);
+                bch.iter(|| distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).0)
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! SRGEMM kernel benchmarks: naive vs cache-blocked vs rayon-parallel
+//! min-plus GEMM, plus the tile-size ablation called out in DESIGN.md §7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use srgemm::gemm::{gemm_blocked, gemm_blocked_tiled, gemm_flops, gemm_naive, gemm_parallel};
+use srgemm::{Matrix, MinPlusF32};
+
+fn lcg(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) % 1024) as f32
+    })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("srgemm");
+    g.sample_size(10);
+    for &n in &[128usize, 256] {
+        let a = lcg(n, n, 1);
+        let b = lcg(n, n, 2);
+        let c0 = lcg(n, n, 3);
+        g.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = c0.clone();
+                gemm_naive::<MinPlusF32>(&mut c.view_mut(), &a.view(), &b.view());
+                c
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = c0.clone();
+                gemm_blocked::<MinPlusF32>(&mut c.view_mut(), &a.view(), &b.view());
+                c
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = c0.clone();
+                gemm_parallel::<MinPlusF32>(&mut c.view_mut(), &a.view(), &b.view());
+                c
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("srgemm_tiling");
+    g.sample_size(10);
+    let n = 256;
+    let a = lcg(n, n, 4);
+    let b = lcg(n, n, 5);
+    let c0 = lcg(n, n, 6);
+    for &(mc, kc, nc) in &[(16usize, 64usize, 64usize), (64, 256, 512), (256, 256, 256)] {
+        g.bench_with_input(
+            BenchmarkId::new("tiles", format!("{mc}x{kc}x{nc}")),
+            &(mc, kc, nc),
+            |bch, &(mc, kc, nc)| {
+                bch.iter(|| {
+                    let mut c = c0.clone();
+                    gemm_blocked_tiled::<MinPlusF32>(&mut c.view_mut(), &a.view(), &b.view(), mc, kc, nc);
+                    c
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_tiling);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! §5.2.2 functional validation: run the *real* distributed algorithms on
+//! the thread-backed runtime with byte counters and compare the measured
+//! per-node NIC volume against the §3.4.1 lower bound, across placements.
+//!
+//! Unlike the figure harnesses this moves actual data — every number below
+//! is counted, not modeled.
+
+use apsp_bench::{arg, Table};
+use apsp_core::dist::{distributed_apsp, FwConfig, Variant};
+use apsp_core::fw_seq::fw_seq;
+use apsp_core::model::comm_lower_bound_bytes;
+use apsp_core::verify::assert_matrices_equal;
+use apsp_graph::generators::{uniform_dense, WeightKind};
+use mpi_sim::Placement;
+use srgemm::MinPlusF32;
+
+fn main() {
+    let n: usize = arg("--n", 96);
+    let (pr, pc) = (8usize, 8usize);
+    println!("== §3.4.1 volume validation: n = {n}, {pr}×{pc} ranks, 16 nodes ==\n");
+
+    let input = uniform_dense(n, WeightKind::small_ints(), 3).to_dense();
+    let mut want = input.clone();
+    fw_seq::<MinPlusF32>(&mut want);
+
+    let table = Table::new(&[
+        ("Kr", 4),
+        ("Kc", 4),
+        ("bound B", 10),
+        ("measured B", 11),
+        ("ratio", 7),
+    ]);
+
+    // all intranode tilings of the 8×8 grid with Q = 4 ranks/node
+    for (qr, qc) in [(1usize, 4usize), (2, 2), (4, 1)] {
+        let (kr, kc) = (pr / qr, pc / qc);
+        let cfg = FwConfig::new(n.div_ceil(8).max(4), Variant::AsyncRing);
+        let placement = Placement::tiled(pr, pc, qr, qc);
+        let (got, traffic) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, Some(placement));
+        assert_matrices_equal(&want, &got, "distributed result");
+        let bound = comm_lower_bound_bytes(n, kr, kc, 4);
+        let measured = traffic.max_node_nic_bytes() as f64;
+        table.row(&[
+            kr.to_string(),
+            kc.to_string(),
+            format!("{bound:.0}"),
+            format!("{measured:.0}"),
+            format!("{:.2}", measured / bound),
+        ]);
+    }
+    println!("\nevery run's output matched sequential Floyd-Warshall;");
+    println!("measured busiest-NIC volume sits above the §3.4.1 bound (ratio ≥ 1 up to broadcast overheads),");
+    println!("and the square node grid minimizes it — the paper's rank-reordering rule.");
+}

@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+
+//! # apsp-bench — paper-figure regeneration harnesses and kernel benches
+//!
+//! One binary per data figure of the paper (see DESIGN.md §4 for the full
+//! index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3_rank_placement` | Fig. 3 — effective bandwidth vs (K_r, K_c) per node count |
+//! | `fig4_comm_strategies` | Fig. 4 — Baseline/Pipelined/+Reordering/+Async vs n, 64 nodes |
+//! | `fig5_oog_blocksize` | Fig. 5 — ooGSrGemm Gflop/s vs block size per buffer size |
+//! | `fig6_oog_buffer` | Fig. 6 — ooGSrGemm Gflop/s heatmap, vertices × buffer |
+//! | `fig7_64node_perf` | Fig. 7 — end-to-end PF/s vs n on 64 nodes, all variants |
+//! | `fig8_strong_scaling` | Fig. 8 — strong scaling 16…256 nodes at n = 300k |
+//! | `fig9_weak_scaling` | Fig. 9 — weak scaling, n³/p constant |
+//! | `headline_claims` | §1/§5 headline numbers, paper vs simulated |
+//! | `comm_volume_validation` | §5.2.2 — functional byte-count validation of §3.4.1 |
+//!
+//! The Criterion benches (`benches/`) measure the *real* CPU kernels of
+//! this reproduction (SRGEMM, closures, blocked FW, the offload engine, the
+//! collectives, and the distributed variants) — wall-clock numbers for this
+//! machine, complementing the simulated Summit numbers above.
+
+/// Simple fixed-width table printer shared by the figure binaries.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Start a table and print its header row.
+    pub fn new(headers: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.1).collect();
+        let row: Vec<String> = headers.iter().map(|(h, w)| format!("{h:>w$}")).collect();
+        println!("{}", row.join("  "));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        Table { widths }
+    }
+
+    /// Print one row of already-formatted cells.
+    pub fn row(&self, cells: &[String]) {
+        let row: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", row.join("  "));
+    }
+}
+
+/// The paper's Fig. 4/7 vertex sweep: 16,384 → 1,664,511 in ×1.26 steps
+/// (every point in the published x-axes).
+pub fn paper_vertex_sweep() -> Vec<usize> {
+    vec![
+        16_384, 20_643, 26_008, 32_768, 41_285, 52_016, 65_536, 82_570, 104_032, 131_072,
+        165_140, 208_064, 262_144, 330_281, 416_128, 524_288, 660_562, 832_255, 1_048_576,
+        1_321_124, 1_664_511,
+    ]
+}
+
+/// Optional CSV sink: when `--csv <path>` is on the command line, every
+/// table row is mirrored to the file (comma-separated, one header row).
+pub struct Csv {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Csv {
+    /// Open the sink if `--csv` was given; write the header.
+    pub fn from_args(headers: &[&str]) -> Csv {
+        use std::io::Write;
+        let path: String = arg("--csv", String::new());
+        if path.is_empty() {
+            return Csv { file: None };
+        }
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}")),
+        );
+        writeln!(f, "{}", headers.join(",")).expect("write csv header");
+        Csv { file: Some(f) }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: &[String]) {
+        use std::io::Write;
+        if let Some(f) = &mut self.file {
+            writeln!(f, "{}", cells.join(",")).expect("write csv row");
+        }
+    }
+}
+
+/// Parse `--flag value` style overrides from argv.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone_and_covers_the_paper_range() {
+        let s = paper_vertex_sweep();
+        assert_eq!(*s.first().unwrap(), 16_384);
+        assert_eq!(*s.last().unwrap(), 1_664_511);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.contains(&524_288)); // the Fig. 7 memory wall
+        assert!(s.contains(&208_064)); // the Fig. 7 compute-bound knee
+    }
+}

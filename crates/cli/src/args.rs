@@ -1,0 +1,98 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs plus bare flags.
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse argv-style tokens. `--key value` pairs; a `--key` followed by
+    /// another `--…` (or nothing) is a bare flag.
+    pub fn parse(tokens: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got '{tok}'"))?;
+            if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                values.insert(key.to_string(), tokens[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    /// Required typed option.
+    pub fn req<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self
+            .values
+            .get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))?;
+        raw.parse()
+            .map_err(|_| format!("could not parse --{key} value '{raw}'"))
+    }
+
+    /// Optional typed option with default.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("could not parse --{key} value '{raw}'")),
+        }
+    }
+
+    /// Optional string.
+    pub fn opt_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Bare flag present?
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&toks("--n 10 --verbose --out file.gr")).unwrap();
+        assert_eq!(a.req::<usize>("n").unwrap(), 10);
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.opt_str("out"), Some("file.gr"));
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let a = Args::parse(&toks("--n 5")).unwrap();
+        assert_eq!(a.opt::<u64>("seed", 42).unwrap(), 42);
+        assert!(a.req::<usize>("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_tokens() {
+        assert!(Args::parse(&toks("stray --n 1")).is_err());
+    }
+
+    #[test]
+    fn bad_value_type_is_an_error() {
+        let a = Args::parse(&toks("--n abc")).unwrap();
+        assert!(a.req::<usize>("n").is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! `apsp info` — structural statistics of a graph file.
+
+use crate::args::Args;
+
+/// Entry point.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("apsp info --input <FILE> [--format <dimacs|edges>]");
+        return Ok(());
+    }
+    let args = Args::parse(tokens)?;
+    let input: String = args.req("input")?;
+    let g = super::load_graph(&input, args.opt_str("format"))?;
+    let n = g.n();
+    let m = g.m();
+    println!("file      : {input}");
+    println!("vertices  : {n}");
+    println!("edges     : {m}");
+    if n > 0 {
+        println!("density   : {:.4}", m as f64 / (n as f64 * n as f64));
+        let (mut wmin, mut wmax, mut wsum) = (f32::INFINITY, f32::NEG_INFINITY, 0.0f64);
+        let mut out_deg = vec![0usize; n];
+        for (u, _, w) in g.edges() {
+            wmin = wmin.min(w);
+            wmax = wmax.max(w);
+            wsum += w as f64;
+            out_deg[u] += 1;
+        }
+        if m > 0 {
+            println!("weights   : min {wmin}, max {wmax}, mean {:.3}", wsum / m as f64);
+        }
+        let dmax = out_deg.iter().copied().max().unwrap_or(0);
+        println!("out-degree: max {dmax}, mean {:.2}", m as f64 / n as f64);
+        // memory footprints the paper's reader cares about
+        let dense_bytes = n as f64 * n as f64 * 4.0;
+        println!("dense distance matrix: {:.3} GB (f32)", dense_bytes / 1e9);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_stats_without_error() {
+        let dir = std::env::temp_dir().join(format!("apsp-info-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("g.edges");
+        std::fs::write(&input, "0 1 2.5\n1 2 1.0\n").unwrap();
+        let cmd: Vec<String> = format!("--input {}", input.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        run(&cmd).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! Subcommand implementations.
+
+pub mod generate;
+pub mod info;
+pub mod route;
+pub mod simulate;
+pub mod solve;
+
+use apsp_graph::graph::Graph;
+use apsp_graph::io;
+
+/// Load a graph from `path`, inferring format from the extension unless
+/// `format` overrides (`dimacs` | `edges`).
+pub fn load_graph(path: &str, format: Option<&str>) -> Result<Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    match resolved_format(path, format)? {
+        "dimacs" => io::read_dimacs(file).map_err(|e| e.to_string()),
+        "edges" => io::read_edge_list(file, None).map_err(|e| e.to_string()),
+        _ => unreachable!(),
+    }
+}
+
+/// Write a graph to `path` in the resolved format.
+pub fn save_graph(g: &Graph, path: &str, format: Option<&str>) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    match resolved_format(path, format)? {
+        "dimacs" => io::write_dimacs(g, file).map_err(|e| e.to_string()),
+        "edges" => io::write_edge_list(g, file).map_err(|e| e.to_string()),
+        _ => unreachable!(),
+    }
+}
+
+fn resolved_format<'a>(path: &str, format: Option<&'a str>) -> Result<&'a str, String> {
+    match format {
+        Some("dimacs") => Ok("dimacs"),
+        Some("edges") => Ok("edges"),
+        Some(other) => Err(format!("unknown format '{other}' (dimacs|edges)")),
+        None => {
+            if path.ends_with(".gr") {
+                Ok("dimacs")
+            } else {
+                Ok("edges")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{uniform_dense, WeightKind};
+
+    #[test]
+    fn save_and_load_round_trip_both_formats() {
+        let dir = std::env::temp_dir().join(format!("apsp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = uniform_dense(8, WeightKind::small_ints(), 1);
+        for name in ["g.gr", "g.edges"] {
+            let path = dir.join(name);
+            let path = path.to_str().unwrap();
+            save_graph(&g, path, None).unwrap();
+            let back = load_graph(path, None).unwrap();
+            assert_eq!(back.n(), 8);
+            assert_eq!(back.m(), g.m());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_resolution() {
+        assert_eq!(resolved_format("x.gr", None).unwrap(), "dimacs");
+        assert_eq!(resolved_format("x.tsv", None).unwrap(), "edges");
+        assert_eq!(resolved_format("x.gr", Some("edges")).unwrap(), "edges");
+        assert!(resolved_format("x", Some("bogus")).is_err());
+    }
+}

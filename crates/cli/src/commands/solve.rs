@@ -1,0 +1,163 @@
+//! `apsp solve` — compute all-pairs shortest distances.
+
+use std::io::Write;
+use std::time::Instant;
+
+use apsp_core::dc_apsp::dc_apsp;
+use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
+use apsp_core::fw_seq::fw_seq;
+use apsp_core::fw_sparse::fw_block_sparse;
+use apsp_core::model::fw_flops;
+use apsp_graph::johnson::johnson_apsp;
+use srgemm::block_sparse::BlockSparseMatrix;
+use srgemm::{Matrix, MinPlusF32};
+
+use crate::args::Args;
+
+/// Entry point.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!(
+            "apsp solve --input <FILE> [--algo fw|blocked|dc|sparse|johnson]
+  --block <N>        block size for blocked/sparse (default 64)
+  --serial           disable rayon parallelism (blocked/dc)
+  --out <FILE>       write the distance matrix as TSV (careful: n² values)
+  --format <dimacs|edges>"
+        );
+        return Ok(());
+    }
+    let args = Args::parse(tokens)?;
+    let input: String = args.req("input")?;
+    let algo: String = args.opt("algo", "blocked".to_string())?;
+    let block: usize = args.opt("block", 64)?;
+    let parallel = !args.has_flag("serial");
+
+    let g = super::load_graph(&input, args.opt_str("format"))?;
+    let n = g.n();
+    if n == 0 {
+        return Err("graph is empty".into());
+    }
+    println!("loaded {} vertices, {} edges from {input}", n, g.m());
+
+    let t0 = Instant::now();
+    let dist: Matrix<f32> = match algo.as_str() {
+        "fw" => {
+            let mut d = g.to_dense();
+            fw_seq::<MinPlusF32>(&mut d);
+            d
+        }
+        "blocked" => {
+            let mut d = g.to_dense();
+            fw_blocked::<MinPlusF32>(&mut d, block, DiagMethod::FwClosure, parallel);
+            d
+        }
+        "dc" => {
+            let mut d = g.to_dense();
+            dc_apsp::<MinPlusF32>(&mut d, block.max(1), parallel);
+            d
+        }
+        "sparse" => {
+            let mut sp = BlockSparseMatrix::from_dense(&g.to_dense(), block, f32::INFINITY);
+            // seed zero diagonals so absent diagonal blocks still close
+            for i in 0..n {
+                sp.set(i, i, 0.0);
+            }
+            let stats = fw_block_sparse::<MinPlusF32>(&mut sp);
+            println!(
+                "sparse: {} → {} blocks materialized, {:.0}% of dense block work",
+                stats.input_blocks,
+                stats.output_blocks,
+                100.0 * stats.work_ratio()
+            );
+            sp.to_dense()
+        }
+        "johnson" => johnson_apsp(&g).map_err(|e| format!("{e:?}"))?,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    println!("solved in {:.3} s ({:.2} Gflop/s FW-equivalent)", secs, fw_flops(n) / secs / 1e9);
+
+    // summary statistics
+    let mut finite = 0u64;
+    let mut total = 0f64;
+    let mut max = 0f32;
+    for i in 0..n {
+        for j in 0..n {
+            let d = dist[(i, j)];
+            if i != j && d.is_finite() {
+                finite += 1;
+                total += d as f64;
+                max = max.max(d);
+            }
+        }
+    }
+    let pairs = (n * n - n) as u64;
+    println!(
+        "reachable pairs: {finite}/{pairs}; mean distance {:.3}; diameter {max}",
+        total / finite.max(1) as f64
+    );
+
+    if let Some(out) = args.opt_str("out") {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
+        );
+        for i in 0..n {
+            let row: Vec<String> = (0..n).map(|j| format!("{}", dist[(i, j)])).collect();
+            writeln!(f, "{}", row.join("\t")).map_err(|e| e.to_string())?;
+        }
+        println!("wrote {n}×{n} distance matrix to {out}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn fixture() -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("apsp-solve-{}-{:?}", std::process::id(), std::thread::current().id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("g.gr");
+        let g = apsp_graph::generators::erdos_renyi(
+            15,
+            0.3,
+            apsp_graph::generators::WeightKind::small_ints(),
+            4,
+        );
+        crate::commands::save_graph(&g, input.to_str().unwrap(), None).unwrap();
+        (dir, input)
+    }
+
+    #[test]
+    fn every_algorithm_solves_and_agrees() {
+        let (dir, input) = fixture();
+        // solve with each algorithm, dump TSVs, compare
+        let mut outputs = Vec::new();
+        for algo in ["fw", "blocked", "dc", "sparse", "johnson"] {
+            let out = dir.join(format!("{algo}.tsv"));
+            let cmd = format!(
+                "--input {} --algo {algo} --block 4 --out {}",
+                input.display(),
+                out.display()
+            );
+            run(&toks(&cmd)).unwrap();
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_algo_is_an_error() {
+        let (dir, input) = fixture();
+        let cmd = format!("--input {} --algo magic", input.display());
+        assert!(run(&toks(&cmd)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

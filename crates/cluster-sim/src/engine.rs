@@ -1,0 +1,311 @@
+//! The list-scheduling discrete-event engine.
+//!
+//! Semantics: a task becomes *ready* when its last dependency finishes; each
+//! resource executes one task at a time, non-preemptively and without
+//! voluntary idling — when free, it starts the best already-ready task
+//! (lowest `priority`, then insertion order), or sleeps until one is ready.
+//! Complexity `O(T log T)` in the number of tasks, so 256-node × thousands
+//! of FW iterations fit comfortably.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::task::{TaskGraph, TaskId};
+
+/// Result of executing a [`TaskGraph`].
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Start time of each task, indexed by `TaskId`.
+    pub start: Vec<f64>,
+    /// Finish time of each task.
+    pub finish: Vec<f64>,
+    /// Busy seconds accumulated per resource.
+    pub busy: Vec<f64>,
+    /// Completion time of the whole DAG.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Finish time of `t`.
+    pub fn finish_of(&self, t: TaskId) -> f64 {
+        self.finish[t.0 as usize]
+    }
+
+    /// Start time of `t`.
+    pub fn start_of(&self, t: TaskId) -> f64 {
+        self.start[t.0 as usize]
+    }
+
+    /// Fraction of the makespan each resource was busy.
+    pub fn utilization(&self) -> Vec<f64> {
+        if self.makespan == 0.0 {
+            return vec![0.0; self.busy.len()];
+        }
+        self.busy.iter().map(|b| b / self.makespan).collect()
+    }
+}
+
+/// Per-resource scheduling state.
+struct ResState {
+    free_at: f64,
+    busy: f64,
+    running: bool,
+    /// tasks whose deps are satisfied but whose ready time may be in the future
+    waiting: BinaryHeap<Reverse<(OrdF64, u32, u32)>>, // (ready_time, priority, id)
+    /// tasks ready to start now, ordered by (priority, id)
+    ready: BinaryHeap<Reverse<(u32, u32)>>,
+}
+
+/// Total-ordered f64 wrapper (no NaNs by construction).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN times")
+    }
+}
+
+/// Execute the DAG; deterministic for a given graph.
+pub fn run(graph: &TaskGraph) -> Schedule {
+    let n = graph.tasks.len();
+    let nr = graph.num_resources as usize;
+    let mut start = vec![f64::NAN; n];
+    let mut finish = vec![f64::NAN; n];
+    let mut remaining: Vec<u32> = graph.tasks.iter().map(|t| t.deps.len() as u32).collect();
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        for d in &t.deps {
+            dependents[d.0 as usize].push(i as u32);
+        }
+    }
+    let mut res: Vec<ResState> = (0..nr)
+        .map(|_| ResState {
+            free_at: 0.0,
+            busy: 0.0,
+            running: false,
+            waiting: BinaryHeap::new(),
+            ready: BinaryHeap::new(),
+        })
+        .collect();
+
+    // event queue ordered by (time, kind discriminant, id) for determinism
+    let mut events: BinaryHeap<Reverse<(OrdF64, u8, u32)>> = BinaryHeap::new();
+
+    // seed: tasks with no deps are ready at t=0
+    for (i, t) in graph.tasks.iter().enumerate() {
+        if t.deps.is_empty() {
+            res[t.resource.0 as usize]
+                .waiting
+                .push(Reverse((OrdF64(0.0), t.priority, i as u32)));
+        }
+    }
+    for r in 0..nr {
+        try_start(graph, &mut res, r, 0.0, &mut start, &mut events);
+    }
+
+    let mut done_count = 0usize;
+    let mut makespan = 0.0f64;
+    while let Some(Reverse((OrdF64(t), kind, id))) = events.pop() {
+        match kind {
+            0 => {
+                // task `id` done
+                let task = &graph.tasks[id as usize];
+                let r = task.resource.0 as usize;
+                finish[id as usize] = t;
+                makespan = makespan.max(t);
+                done_count += 1;
+                res[r].running = false;
+                // wake dependents
+                for &dep in &dependents[id as usize] {
+                    remaining[dep as usize] -= 1;
+                    if remaining[dep as usize] == 0 {
+                        let dt = &graph.tasks[dep as usize];
+                        let dr = dt.resource.0 as usize;
+                        res[dr]
+                            .waiting
+                            .push(Reverse((OrdF64(t), dt.priority, dep)));
+                        try_start(graph, &mut res, dr, t, &mut start, &mut events);
+                    }
+                }
+                try_start(graph, &mut res, r, t, &mut start, &mut events);
+            }
+            _ => {
+                // wake resource `id`
+                try_start(graph, &mut res, id as usize, t, &mut start, &mut events);
+            }
+        }
+    }
+
+    assert_eq!(done_count, n, "engine finished with unscheduled tasks");
+    let busy = res.iter().map(|r| r.busy).collect();
+    Schedule { start, finish, busy, makespan }
+}
+
+fn try_start(
+    graph: &TaskGraph,
+    res: &mut [ResState],
+    r: usize,
+    now: f64,
+    start: &mut [f64],
+    events: &mut BinaryHeap<Reverse<(OrdF64, u8, u32)>>,
+) {
+    let state = &mut res[r];
+    if state.running || state.free_at > now {
+        return;
+    }
+    // mature waiting tasks whose ready time has passed
+    while let Some(&Reverse((OrdF64(rt), pri, id))) = state.waiting.peek() {
+        if rt <= now {
+            state.waiting.pop();
+            state.ready.push(Reverse((pri, id)));
+        } else {
+            break;
+        }
+    }
+    if let Some(Reverse((_, id))) = state.ready.pop() {
+        let dur = graph.tasks[id as usize].duration;
+        start[id as usize] = now;
+        state.running = true;
+        state.free_at = now + dur;
+        state.busy += dur;
+        events.push(Reverse((OrdF64(now + dur), 0, id)));
+    } else if let Some(&Reverse((OrdF64(rt), _, _))) = state.waiting.peek() {
+        events.push(Reverse((OrdF64(rt), 1, r as u32)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskGraph;
+
+    #[test]
+    fn chain_on_one_resource_sums_durations() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        let a = g.task(r, 1.0, 0, &[]);
+        let b = g.task(r, 2.0, 0, &[a]);
+        let c = g.task(r, 3.0, 0, &[b]);
+        let s = run(&g);
+        assert_eq!(s.finish_of(c), 6.0);
+        assert_eq!(s.makespan, 6.0);
+        assert_eq!(s.busy[0], 6.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_two_resources_overlap() {
+        let mut g = TaskGraph::new();
+        let r1 = g.resource();
+        let r2 = g.resource();
+        g.task(r1, 5.0, 0, &[]);
+        g.task(r2, 4.0, 0, &[]);
+        let s = run(&g);
+        assert_eq!(s.makespan, 5.0);
+        assert_eq!(s.utilization(), vec![1.0, 0.8]);
+    }
+
+    #[test]
+    fn fork_join_waits_for_slowest_branch() {
+        let mut g = TaskGraph::new();
+        let (r1, r2, r3) = (g.resource(), g.resource(), g.resource());
+        let src = g.task(r1, 1.0, 0, &[]);
+        let fast = g.task(r2, 1.0, 0, &[src]);
+        let slow = g.task(r3, 10.0, 0, &[src]);
+        let join = g.task(r1, 1.0, 0, &[fast, slow]);
+        let s = run(&g);
+        assert_eq!(s.start_of(join), 11.0);
+        assert_eq!(s.makespan, 12.0);
+    }
+
+    #[test]
+    fn resource_contention_serializes() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        g.task(r, 2.0, 0, &[]);
+        g.task(r, 2.0, 0, &[]);
+        g.task(r, 2.0, 0, &[]);
+        let s = run(&g);
+        assert_eq!(s.makespan, 6.0);
+    }
+
+    #[test]
+    fn priority_breaks_simultaneous_ready_ties() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        // both ready at 0; the priority-1 task must run first
+        let low = g.task(r, 1.0, 5, &[]);
+        let high = g.task(r, 1.0, 1, &[]);
+        let s = run(&g);
+        assert_eq!(s.start_of(high), 0.0);
+        assert_eq!(s.start_of(low), 1.0);
+    }
+
+    #[test]
+    fn no_voluntary_idling_ready_task_preempts_priority_order() {
+        let mut g = TaskGraph::new();
+        let (r1, r2) = (g.resource(), g.resource());
+        // high-priority task becomes ready at t=2 (after `gate`), low-priority
+        // is ready at 0 on the same resource. Non-idling: low starts at 0.
+        let gate = g.task(r2, 2.0, 0, &[]);
+        let low = g.task(r1, 10.0, 9, &[]);
+        let high = g.task(r1, 1.0, 0, &[gate]);
+        let s = run(&g);
+        assert_eq!(s.start_of(low), 0.0);
+        assert_eq!(s.start_of(high), 10.0);
+    }
+
+    #[test]
+    fn pipeline_overlap_shortens_makespan() {
+        // two-stage pipeline over 4 items: stage A on r1 (1s), stage B on r2 (1s)
+        // ideal: 1 + 4 = 5s, not 8s
+        let mut g = TaskGraph::new();
+        let (r1, r2) = (g.resource(), g.resource());
+        let mut prev_b: Option<crate::task::TaskId> = None;
+        let mut last = None;
+        for _ in 0..4 {
+            let a = g.task(r1, 1.0, 0, &[]);
+            let deps: Vec<_> = Some(a).into_iter().chain(prev_b).collect();
+            let b = g.task(r2, 1.0, 0, &deps);
+            prev_b = Some(b);
+            last = Some(b);
+        }
+        let s = run(&g);
+        assert_eq!(s.finish_of(last.unwrap()), 5.0);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_makespan() {
+        let g = TaskGraph::new();
+        let s = run(&g);
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.finish.is_empty());
+    }
+
+    #[test]
+    fn zero_duration_tasks_propagate_instantly() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        let a = g.task(r, 0.0, 0, &[]);
+        let b = g.task(r, 0.0, 0, &[a]);
+        let s = run(&g);
+        assert_eq!(s.finish_of(b), 0.0);
+    }
+
+    #[test]
+    fn diamond_dag_critical_path() {
+        let mut g = TaskGraph::new();
+        let rs: Vec<_> = (0..4).map(|_| g.resource()).collect();
+        let top = g.task(rs[0], 1.0, 0, &[]);
+        let left = g.task(rs[1], 3.0, 0, &[top]);
+        let right = g.task(rs[2], 5.0, 0, &[top]);
+        let _bottom = g.task(rs[3], 1.0, 0, &[left, right]);
+        let s = run(&g);
+        assert_eq!(s.makespan, 1.0 + 5.0 + 1.0);
+    }
+}

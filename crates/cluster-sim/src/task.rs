@@ -1,0 +1,116 @@
+//! Task-DAG construction.
+
+/// Identifies a resource (a serial execution engine: one GPU pool, one NIC
+/// direction, one host-memory channel…).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// Index into per-resource arrays such as [`crate::engine::Schedule::busy`].
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a task within a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+#[derive(Clone, Debug)]
+pub(crate) struct Task {
+    pub resource: ResourceId,
+    pub duration: f64,
+    /// Lower runs first among simultaneously-ready tasks on one resource.
+    pub priority: u32,
+    pub deps: Vec<TaskId>,
+}
+
+/// A static DAG of tasks bound to resources.
+///
+/// Build with [`TaskGraph::resource`] / [`TaskGraph::task`], then execute
+/// with [`crate::engine::run`]. Dependencies must point to already-created
+/// tasks, which structurally guarantees acyclicity.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) num_resources: u32,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new resource (serial engine).
+    pub fn resource(&mut self) -> ResourceId {
+        let id = ResourceId(self.num_resources);
+        self.num_resources += 1;
+        id
+    }
+
+    /// Add a task of `duration` seconds on `resource`, starting after every
+    /// task in `deps` finishes. `priority`: lower value = preferred when
+    /// several tasks are ready on the same resource at the same instant.
+    ///
+    /// # Panics
+    /// Panics on an unknown resource, a forward/unknown dependency, a
+    /// negative or non-finite duration.
+    pub fn task(&mut self, resource: ResourceId, duration: f64, priority: u32, deps: &[TaskId]) -> TaskId {
+        assert!(resource.0 < self.num_resources, "unknown resource");
+        assert!(duration.is_finite() && duration >= 0.0, "bad duration {duration}");
+        let id = TaskId(self.tasks.len() as u32);
+        for d in deps {
+            assert!(d.0 < id.0, "dependency on a not-yet-created task");
+        }
+        self.tasks.push(Task {
+            resource,
+            duration,
+            priority,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_ids_sequentially() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        let a = g.task(r, 1.0, 0, &[]);
+        let b = g.task(r, 2.0, 0, &[a]);
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-created")]
+    fn rejects_forward_deps() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        g.task(r, 1.0, 0, &[TaskId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn rejects_nan_duration() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        g.task(r, f64::NAN, 0, &[]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the discrete-event engine: structural invariants
+//! that must hold for *any* DAG.
+
+use proptest::prelude::*;
+
+use cluster_sim::{run, TaskGraph};
+
+/// A random DAG spec: per task (resource index, duration, priority, dep mask
+/// over earlier tasks).
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, f64, u32, Vec<bool>)>)> {
+    (1usize..5, 1usize..40).prop_flat_map(|(nres, ntasks)| {
+        let tasks = proptest::collection::vec(
+            (
+                0..nres,
+                (0u32..1000).prop_map(|d| d as f64 * 0.01),
+                0u32..4,
+                proptest::collection::vec(proptest::bool::weighted(0.15), ntasks),
+            ),
+            ntasks,
+        );
+        tasks.prop_map(move |t| (nres, t))
+    })
+}
+
+fn build(nres: usize, spec: &[(usize, f64, u32, Vec<bool>)]) -> (TaskGraph, Vec<cluster_sim::TaskId>) {
+    let mut g = TaskGraph::new();
+    let resources: Vec<_> = (0..nres).map(|_| g.resource()).collect();
+    let mut ids = Vec::new();
+    for (i, (r, dur, pri, deps)) in spec.iter().enumerate() {
+        let dep_ids: Vec<_> = deps
+            .iter()
+            .take(i)
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(j, _)| ids[j])
+            .collect();
+        ids.push(g.task(resources[*r], *dur, *pri, &dep_ids));
+    }
+    (g, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_respects_dependencies_and_durations((nres, spec) in dag_strategy()) {
+        let (g, ids) = build(nres, &spec);
+        let s = run(&g);
+        for (i, (_, dur, _, deps)) in spec.iter().enumerate() {
+            let start = s.start_of(ids[i]);
+            let finish = s.finish_of(ids[i]);
+            prop_assert!((finish - start - dur).abs() < 1e-9, "duration preserved");
+            prop_assert!(start >= 0.0);
+            for (j, &on) in deps.iter().take(i).enumerate() {
+                if on {
+                    prop_assert!(start >= s.finish_of(ids[j]) - 1e-9, "dep ordering");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_bounds((nres, spec) in dag_strategy()) {
+        let (g, ids) = build(nres, &spec);
+        let s = run(&g);
+        // lower bound 1: busiest resource's total work
+        let max_busy = s.busy.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(s.makespan >= max_busy - 1e-9);
+        // lower bound 2: any single task's duration
+        for (i, (_, dur, _, _)) in spec.iter().enumerate() {
+            prop_assert!(s.makespan >= *dur - 1e-9);
+            prop_assert!(s.finish_of(ids[i]) <= s.makespan + 1e-9);
+        }
+        // upper bound: fully serialized execution
+        let total: f64 = spec.iter().map(|t| t.1).sum();
+        prop_assert!(s.makespan <= total + 1e-9);
+    }
+
+    #[test]
+    fn tasks_on_one_resource_never_overlap((nres, spec) in dag_strategy()) {
+        let (g, ids) = build(nres, &spec);
+        let s = run(&g);
+        for r in 0..nres {
+            let mut intervals: Vec<(f64, f64)> = spec
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.0 == r)
+                .map(|(i, _)| (s.start_of(ids[i]), s.finish_of(ids[i])))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9, "overlap on resource {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic((nres, spec) in dag_strategy()) {
+        let (g, _) = build(nres, &spec);
+        let s1 = run(&g);
+        let s2 = run(&g);
+        prop_assert_eq!(s1.makespan, s2.makespan);
+        prop_assert_eq!(s1.start, s2.start);
+        prop_assert_eq!(s1.finish, s2.finish);
+    }
+}

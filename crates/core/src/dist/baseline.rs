@@ -1,0 +1,33 @@
+//! Baseline `ParallelFw` (paper Algorithm 3).
+//!
+//! Bulk-synchronous: each iteration runs DiagUpdate → DiagBcast →
+//! PanelUpdate → PanelBcast → OuterUpdate to completion before the next
+//! starts. The outer product is one GEMM over the whole local matrix —
+//! re-touching the freshly-updated k-th strips is a no-op (see
+//! `fw_blocked`'s module docs).
+
+use mpi_sim::ProcessGrid;
+use srgemm::gemm::gemm_blocked;
+use srgemm::semiring::Semiring;
+
+use super::{diag_and_panels, DistMatrix, FwConfig};
+
+/// Run Algorithm 3 on this rank's share. Collective over `grid`.
+pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &FwConfig) {
+    assert!(
+        S::IDEMPOTENT_ADD,
+        "distributed FW relies on an idempotent ⊕ ({} is not)",
+        S::NAME
+    );
+    for k in 0..a.nb {
+        let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.panel_bcast());
+        // OuterUpdate(k): whole local matrix
+        gemm_blocked::<S>(
+            &mut a.local.view_mut(),
+            &panels.col_panel.view(),
+            &panels.row_panel.view(),
+        );
+        // implicit bulk-synchronous barrier: the next iteration's broadcasts
+        // cannot complete until every rank reaches them
+    }
+}

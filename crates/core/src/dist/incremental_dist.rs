@@ -1,0 +1,153 @@
+//! Distributed incremental Floyd-Warshall: absorb an edge insertion or
+//! weight decrease into an already-solved *distributed* closure in
+//! `O(n²/P)` per rank plus two vector broadcasts — the distributed form of
+//! [`crate::incremental`], combining both §7 future-work directions
+//! (incremental + distributed).
+//!
+//! The update `d[i][j] ⊕= d[i][u] ⊗ w ⊗ d[v][j]` needs exactly one column
+//! (`d[:,u]`, owned by one process column) and one row (`d[v,:]`, owned by
+//! one process row). The owners broadcast their slices along the grid's
+//! row/column communicators — the same communication pattern as a
+//! `PanelBcast` with `b = 1` — and every rank applies a local rank-1
+//! relaxation.
+
+use mpi_sim::ProcessGrid;
+use srgemm::semiring::Semiring;
+
+use super::DistMatrix;
+
+/// Collectively absorb the improved edge `u → v` of weight `w` into the
+/// solved distributed closure `a`. Every rank of `grid` must call this with
+/// identical arguments. Returns the number of local entries improved on
+/// this rank.
+pub fn decrease_edge_dist<S: Semiring>(
+    grid: &ProcessGrid,
+    a: &mut DistMatrix<S::Elem>,
+    u: usize,
+    v: usize,
+    w: S::Elem,
+) -> usize {
+    assert!(u < a.n && v < a.n, "edge endpoint out of range");
+
+    // --- broadcast my rows' d[i][u] along each process row ---
+    let bu = u / a.b;
+    let cu = u % a.b;
+    let col_owner = bu % a.pc; // process-column index owning block column bu
+    let mine = (a.my_c == col_owner).then(|| {
+        let c0 = a.local_col_start(bu) + cu;
+        (0..a.local.rows()).map(|r| a.local[(r, c0)]).collect::<Vec<S::Elem>>()
+    });
+    let col_u: Vec<S::Elem> = grid.row.bcast(col_owner, mine);
+    debug_assert_eq!(col_u.len(), a.local.rows());
+
+    // --- broadcast my columns' d[v][j] along each process column ---
+    let bv = v / a.b;
+    let rv = v % a.b;
+    let row_owner = bv % a.pr;
+    let mine = (a.my_r == row_owner).then(|| {
+        let r0 = a.local_row_start(bv) + rv;
+        a.local.row(r0).to_vec()
+    });
+    let row_v: Vec<S::Elem> = grid.col.bcast(row_owner, mine);
+    debug_assert_eq!(row_v.len(), a.local.cols());
+
+    // --- local rank-1 relaxation ---
+    let mut improved = 0usize;
+    for i in 0..a.local.rows() {
+        let through = S::mul(col_u[i], w);
+        let row = a.local.row_mut(i);
+        for (j, rv_j) in row_v.iter().enumerate() {
+            let cand = S::mul(through, *rv_j);
+            let new = S::add(row[j], cand);
+            if new != row[j] {
+                row[j] = new;
+                improved += 1;
+            }
+        }
+    }
+    improved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{baseline, DistMatrix, FwConfig, Variant};
+    use crate::fw_seq::fw_seq;
+    use apsp_graph::generators::{self, WeightKind};
+    use apsp_graph::graph::GraphBuilder;
+    use mpi_sim::{ProcessGrid, Runtime};
+    use srgemm::MinPlusF32;
+
+    fn solve_then_update(
+        pr: usize,
+        pc: usize,
+        b: usize,
+        n: usize,
+        seed: u64,
+        updates: Vec<(usize, usize, f32)>,
+    ) -> srgemm::Matrix<f32> {
+        let g = generators::erdos_renyi(n, 0.2, WeightKind::small_ints(), seed);
+        let input = g.to_dense();
+        let updates2 = updates.clone();
+        let out = Runtime::new(pr * pc).run(move |comm| {
+            let grid = ProcessGrid::new(comm, pr, pc);
+            let (r, c) = grid.coords();
+            let mut a = DistMatrix::from_global(&input, b, pr, pc, r, c);
+            let cfg = FwConfig::new(b, Variant::Baseline);
+            baseline::run::<MinPlusF32>(&grid, &mut a, &cfg);
+            for &(u, v, w) in &updates2 {
+                decrease_edge_dist::<MinPlusF32>(&grid, &mut a, u, v, w);
+            }
+            a.gather(&grid)
+        });
+        out.into_iter().flatten().next().expect("rank 0 gathers")
+    }
+
+    #[test]
+    fn distributed_incremental_matches_full_recompute() {
+        let n = 26;
+        let seed = 31;
+        let updates = vec![(1usize, 20usize, 1.0f32), (15, 3, 2.0)];
+        let got = solve_then_update(2, 3, 5, n, seed, updates.clone());
+
+        // oracle: rebuild the graph with the new edges and solve from scratch
+        let g = generators::erdos_renyi(n, 0.2, WeightKind::small_ints(), seed);
+        let mut b = GraphBuilder::new(n);
+        for (x, y, wt) in g.edges() {
+            b.add_edge(x, y, wt);
+        }
+        for &(u, v, w) in &updates {
+            b.add_edge(u, v, w);
+        }
+        let mut want = b.build().to_dense();
+        fw_seq::<MinPlusF32>(&mut want);
+        assert!(want.eq_exact(&got));
+    }
+
+    #[test]
+    fn update_touching_ragged_tail_block() {
+        // n=23 with b=4 → last block ragged; update endpoints in it
+        let got = solve_then_update(2, 2, 4, 23, 7, vec![(22, 0, 1.0), (1, 21, 1.0)]);
+        let g = generators::erdos_renyi(23, 0.2, WeightKind::small_ints(), 7);
+        let mut b = GraphBuilder::new(23);
+        for (x, y, wt) in g.edges() {
+            b.add_edge(x, y, wt);
+        }
+        b.add_edge(22, 0, 1.0).add_edge(1, 21, 1.0);
+        let mut want = b.build().to_dense();
+        fw_seq::<MinPlusF32>(&mut want);
+        assert!(want.eq_exact(&got));
+    }
+
+    #[test]
+    fn redundant_update_changes_nothing() {
+        // inserting an edge equal to an existing distance leaves the
+        // closure untouched
+        let base = solve_then_update(2, 2, 4, 16, 9, vec![]);
+        let d = base[(2, 5)];
+        if d.is_finite() {
+            let same = solve_then_update(2, 2, 4, 16, 9, vec![(2, 5, d)]);
+            assert!(base.eq_exact(&same));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Distributed Floyd-Warshall over the `mpi-sim` runtime.
+//!
+//! All four variants share the block-cyclic layout ([`layout::DistMatrix`])
+//! and the broadcast plumbing in this module; they differ exactly where the
+//! paper says they do:
+//!
+//! | Variant | Schedule | PanelBcast | OuterUpdate |
+//! |---|---|---|---|
+//! | [`Variant::Baseline`] | bulk-synchronous (Alg. 3) | binomial tree | in-core GEMM |
+//! | [`Variant::Pipelined`] | look-ahead (Alg. 4) | binomial tree | in-core GEMM |
+//! | [`Variant::AsyncRing`] | look-ahead | pipelined ring (§3.3) | in-core GEMM |
+//! | [`Variant::Offload`] | bulk-synchronous | binomial tree | `ooGSrGemm` through the simulated GPU (§4.3) |
+//!
+//! Every variant produces bit-identical results to sequential
+//! Floyd-Warshall; the differences are purely in communication structure and
+//! memory residency, which the `cluster-sim` schedules turn into time.
+
+pub mod baseline;
+pub mod incremental_dist;
+pub mod layout;
+pub mod offload;
+pub mod oned;
+pub mod pipelined;
+
+pub use layout::DistMatrix;
+
+use gpu_sim::{GpuSpec, OogConfig};
+use mpi_sim::{Comm, Placement, ProcessGrid, Runtime, TrafficReport};
+use srgemm::matrix::Matrix;
+use srgemm::semiring::Semiring;
+
+use crate::fw_blocked::DiagMethod;
+
+/// Which distributed algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Algorithm 3: bulk-synchronous ParallelFw.
+    Baseline,
+    /// Algorithm 4: pipelined ParallelFw (look-ahead update).
+    Pipelined,
+    /// Pipelined + ring PanelBcast (`Co-ParallelFw`'s `+Async` legend).
+    AsyncRing,
+    /// `Me-ParallelFw`: host-resident matrix, GPU offload outer product.
+    Offload,
+}
+
+impl Variant {
+    /// All variants, in the paper's legend order.
+    pub fn all() -> [Variant; 4] {
+        [Variant::Baseline, Variant::Pipelined, Variant::AsyncRing, Variant::Offload]
+    }
+
+    /// Legend string used in the figure harnesses.
+    pub fn legend(&self) -> &'static str {
+        match self {
+            Variant::Baseline => "Baseline",
+            Variant::Pipelined => "Pipelined",
+            Variant::AsyncRing => "+Async",
+            Variant::Offload => "Offload",
+        }
+    }
+}
+
+/// Configuration for a distributed APSP run.
+#[derive(Clone, Copy, Debug)]
+pub struct FwConfig {
+    /// Block size `b` of the block-cyclic distribution.
+    pub block: usize,
+    /// Algorithm variant.
+    pub variant: Variant,
+    /// Ring-broadcast chunk count (AsyncRing only).
+    pub ring_chunks: usize,
+    /// How diagonal blocks are closed.
+    pub diag: DiagMethod,
+    /// Device spec for the Offload variant (each rank gets one GPU).
+    pub gpu_spec: GpuSpec,
+    /// ooGSrGemm tiling for the Offload variant.
+    pub oog: OogConfig,
+}
+
+impl FwConfig {
+    /// Defaults: 4-chunk ring, FW-closure diagonals, and a tiny test GPU
+    /// with 64×64 tile buffers on 3 streams (sized to fit
+    /// [`GpuSpec::test_tiny`]; production harnesses override both).
+    pub fn new(block: usize, variant: Variant) -> Self {
+        FwConfig {
+            block,
+            variant,
+            ring_chunks: 4,
+            diag: DiagMethod::FwClosure,
+            gpu_spec: GpuSpec::test_tiny(),
+            oog: OogConfig::new(64, 64, 3),
+        }
+    }
+}
+
+/// How panels travel (tree vs ring), resolved from the variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PanelBcast {
+    Tree,
+    Ring { chunks: usize },
+}
+
+impl FwConfig {
+    pub(crate) fn panel_bcast(&self) -> PanelBcast {
+        match self.variant {
+            Variant::AsyncRing => PanelBcast::Ring { chunks: self.ring_chunks },
+            _ => PanelBcast::Tree,
+        }
+    }
+}
+
+/// Broadcast a matrix (flattened) over `comm` from `root`; `mine` is
+/// `Some(matrix)` at the root. Returns the matrix on every rank.
+pub(crate) fn bcast_matrix<S: Semiring>(
+    comm: &Comm,
+    root: usize,
+    mine: Option<Matrix<S::Elem>>,
+    rows: usize,
+    cols: usize,
+    how: PanelBcast,
+) -> Matrix<S::Elem> {
+    let payload = mine.map(|m| {
+        debug_assert_eq!((m.rows(), m.cols()), (rows, cols));
+        m.as_slice().to_vec()
+    });
+    let data = match how {
+        PanelBcast::Tree => comm.bcast(root, payload),
+        PanelBcast::Ring { chunks } => comm.ring_bcast(root, payload, chunks),
+    };
+    assert_eq!(data.len(), rows * cols, "broadcast panel size mismatch");
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Per-iteration context shared by the variant loops: the closed diagonal
+/// broadcast to the k-th process row/column, then the panels to everyone.
+pub(crate) struct PanelSet<T> {
+    /// `local_rows × b_k` column panel (`A(:,k)` restricted to my rows).
+    pub col_panel: Matrix<T>,
+    /// `b_k × local_cols` row panel (`A(k,:)` restricted to my cols).
+    pub row_panel: Matrix<T>,
+}
+
+/// DiagUpdate + DiagBcast + PanelUpdate + PanelBcast for iteration `k` —
+/// identical in all variants (only the panel broadcast algorithm differs).
+/// On return the k-th strips of `a` are updated in place and every rank
+/// holds the broadcast panels.
+pub(crate) fn diag_and_panels<S: Semiring>(
+    grid: &ProcessGrid,
+    a: &mut DistMatrix<S::Elem>,
+    k: usize,
+    diag_method: DiagMethod,
+    how: PanelBcast,
+) -> PanelSet<S::Elem> {
+    use srgemm::closure::{fw_closure, fw_closure_squaring};
+    use srgemm::panel::{panel_update_left, panel_update_right};
+
+    let bk = a.block_dim(k);
+    let kr = k % a.pr;
+    let kc = k % a.pc;
+
+    // DiagUpdate at the owner
+    if a.owns_row(k) && a.owns_col(k) {
+        let mut d = a.diag_block_mut(k);
+        match diag_method {
+            DiagMethod::FwClosure => fw_closure::<S>(&mut d),
+            DiagMethod::Squaring => fw_closure_squaring::<S>(&mut d, false),
+        }
+    }
+
+    // DiagBcast along the k-th process row and column (tree: small, latency-
+    // critical — the paper keeps the library broadcast here even in +Async)
+    let mut diag_row: Option<Matrix<S::Elem>> = None;
+    let mut diag_col: Option<Matrix<S::Elem>> = None;
+    if a.owns_row(k) {
+        let mine = a.owns_col(k).then(|| a.diag_block(k));
+        diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcast::Tree));
+    }
+    if a.owns_col(k) {
+        let mine = a.owns_row(k).then(|| a.diag_block(k));
+        diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcast::Tree));
+    }
+
+    // PanelUpdate on the owning strips (includes the diagonal block itself,
+    // where D ⊕ D⊗D = D is a no-op)
+    if let Some(d) = &diag_row {
+        let mut strip = a.row_strip_mut(k);
+        panel_update_left::<S>(&mut strip, &d.view());
+    }
+    if let Some(d) = &diag_col {
+        let mut strip = a.col_strip_mut(k);
+        panel_update_right::<S>(&mut strip, &d.view());
+    }
+
+    // PanelBcast: row panel down each process column, column panel across
+    // each process row
+    let lcols = a.local.cols();
+    let lrows = a.local.rows();
+    let row_panel = bcast_matrix::<S>(
+        &grid.col,
+        kr,
+        a.owns_row(k).then(|| a.row_strip(k).to_matrix()),
+        bk,
+        lcols,
+        how,
+    );
+    let col_panel = bcast_matrix::<S>(
+        &grid.row,
+        kc,
+        a.owns_col(k).then(|| a.col_strip(k).to_matrix()),
+        lrows,
+        bk,
+        how,
+    );
+    PanelSet { col_panel, row_panel }
+}
+
+/// Run distributed APSP on an existing communicator (one call per rank,
+/// SPMD). `global` must be identical on every rank; each rank slices its
+/// own share. The result is gathered to grid rank 0.
+pub fn distributed_apsp_on<S: Semiring>(
+    comm: Comm,
+    pr: usize,
+    pc: usize,
+    cfg: &FwConfig,
+    global: &Matrix<S::Elem>,
+) -> Option<Matrix<S::Elem>> {
+    let grid = ProcessGrid::new(comm, pr, pc);
+    let (my_r, my_c) = grid.coords();
+    let mut a = DistMatrix::from_global(global, cfg.block, pr, pc, my_r, my_c);
+    match cfg.variant {
+        Variant::Baseline => baseline::run::<S>(&grid, &mut a, cfg),
+        Variant::Pipelined | Variant::AsyncRing => pipelined::run::<S>(&grid, &mut a, cfg),
+        Variant::Offload => {
+            offload::run::<S>(&grid, &mut a, cfg);
+        }
+    }
+    a.gather(&grid)
+}
+
+/// Convenience driver: spin up `pr·pc` ranks, run
+/// [`distributed_apsp_on`], and return the gathered matrix plus the traffic
+/// report (for the §5.1.3 effective-bandwidth metric).
+pub fn distributed_apsp<S: Semiring>(
+    pr: usize,
+    pc: usize,
+    cfg: &FwConfig,
+    global: &Matrix<S::Elem>,
+    placement: Option<Placement>,
+) -> (Matrix<S::Elem>, TrafficReport) {
+    let mut rt = Runtime::new(pr * pc);
+    if let Some(p) = placement {
+        rt = rt.with_placement(p);
+    }
+    let cfg = *cfg;
+    let (results, traffic) = rt.run_traced(move |comm| {
+        distributed_apsp_on::<S>(comm, pr, pc, &cfg, global)
+    });
+    let gathered = results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("grid rank 0 gathers the result");
+    (gathered, traffic)
+}

@@ -1,0 +1,71 @@
+//! `Me-ParallelFw` — the memory-efficient offload variant (paper §4.3).
+//!
+//! Identical communication structure to the baseline, but the local matrix
+//! is *host-resident* and the OuterUpdate is staged through a capacity-
+//! limited simulated GPU by [`gpu_sim::oog_srgemm`]: only the k-th panels
+//! plus `s` tile buffers ever live on the device, so the feasible problem
+//! size is bounded by host memory instead of HBM — the paper's 2.5× head
+//! room. Diagonal blocks are closed by repeated squaring when
+//! `cfg.diag == DiagMethod::Squaring`, the §4.2 GPU-friendly form.
+//!
+//! # Panics
+//! Panics (with the [`gpu_sim::Oom`] message) if even the *panels* exceed
+//! device memory — the same hard wall the real implementation would hit
+//! when `b` is chosen absurdly large.
+
+use gpu_sim::{oog_srgemm, SimGpu};
+use mpi_sim::ProcessGrid;
+use srgemm::semiring::Semiring;
+
+use super::{diag_and_panels, DistMatrix, FwConfig};
+
+/// Run the offload variant on this rank's share. Collective over `grid`.
+/// Returns per-rank offload statistics (simulated GPU seconds, flops).
+pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &FwConfig) -> OffloadStats {
+    assert!(
+        S::IDEMPOTENT_ADD,
+        "distributed FW relies on an idempotent ⊕ ({} is not)",
+        S::NAME
+    );
+    let gpu = SimGpu::new(cfg.gpu_spec);
+    let mut stats = OffloadStats::default();
+
+    for k in 0..a.nb {
+        let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.panel_bcast());
+        if a.local.rows() == 0 || a.local.cols() == 0 {
+            continue;
+        }
+        // OuterUpdate(k) through the device: C_local ← C_local ⊕ A(:,k) ⊗ A(k,:)
+        let oog_stats = oog_srgemm::<S>(
+            &gpu,
+            &cfg.oog,
+            &mut a.local.view_mut(),
+            &panels.col_panel.view(),
+            &panels.row_panel.view(),
+        )
+        .unwrap_or_else(|oom| {
+            panic!(
+                "Me-ParallelFw: panels do not fit on the device at k={k}: {oom} \
+                 (shrink the block size or the oog tile buffers)"
+            )
+        });
+        stats.gpu_seconds += oog_stats.sim_time;
+        stats.flops += oog_stats.flops;
+        stats.tiles += oog_stats.tiles;
+        stats.peak_device_bytes = stats.peak_device_bytes.max(oog_stats.device_bytes);
+    }
+    stats
+}
+
+/// Aggregated per-rank offload statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OffloadStats {
+    /// Simulated device+host pipeline seconds across all iterations.
+    pub gpu_seconds: f64,
+    /// Semiring flops pushed through `ooGSrGemm`.
+    pub flops: f64,
+    /// Output tiles processed.
+    pub tiles: usize,
+    /// High-water device memory, bytes.
+    pub peak_device_bytes: u64,
+}

@@ -1,0 +1,82 @@
+//! Pipelined `ParallelFw` (paper Algorithm 4) and its `+Async` ring flavor.
+//!
+//! The bulk-sequential dependency of Algorithm 3 is broken by *look-ahead*
+//! (§3.1–3.2): once the k-th panels are everywhere, the (k+1)-th panels are
+//! brought fully up to date first — OuterUpdate(k) restricted to them, then
+//! DiagUpdate(k+1), DiagBcast(k+1), PanelUpdate(k+1) and PanelBcast(k+1) —
+//! and only then is the big OuterUpdate(k) applied to the rest of the local
+//! matrix. In the real system the broadcast of the next panels is in flight
+//! *while* the GPU grinds the outer product; functionally the result is
+//! identical, and the `cluster-sim` schedule generator turns exactly this
+//! reordering into hidden communication time.
+//!
+//! With `Variant::AsyncRing`, `PanelBcast` uses the pipelined ring broadcast
+//! (§3.3); the nearer successors of the root receive panels early, which in
+//! the schedule model lets iterations drift more than one step apart.
+
+use mpi_sim::ProcessGrid;
+use srgemm::gemm::gemm_blocked;
+use srgemm::semiring::Semiring;
+
+use super::{diag_and_panels, DistMatrix, FwConfig, PanelSet};
+
+/// Run Algorithm 4 (or its ring flavor) on this rank's share.
+pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &FwConfig) {
+    assert!(
+        S::IDEMPOTENT_ADD,
+        "distributed FW relies on an idempotent ⊕ ({} is not)",
+        S::NAME
+    );
+    if a.nb == 0 {
+        return;
+    }
+    // Prime the pipeline: diag/panel work for k = 0.
+    let mut panels = diag_and_panels::<S>(grid, a, 0, cfg.diag, cfg.panel_bcast());
+
+    for k in 0..a.nb {
+        let next = if k + 1 < a.nb {
+            // ---- look-ahead: apply OuterUpdate(k) to the (k+1)-th strips only ----
+            lookahead_update::<S>(a, k + 1, &panels);
+            // ---- then the full (k+1) diag/panel phase, overlapping the big
+            //      OuterUpdate(k) in the schedule model ----
+            Some(diag_and_panels::<S>(grid, a, k + 1, cfg.diag, cfg.panel_bcast()))
+        } else {
+            None
+        };
+
+        // ---- OuterUpdate(k) over the whole local matrix ----
+        // (the k+1 strips were already relaxed with these same panels, and
+        // min-plus relaxation is monotone, so re-touching them is a no-op)
+        gemm_blocked::<S>(
+            &mut a.local.view_mut(),
+            &panels.col_panel.view(),
+            &panels.row_panel.view(),
+        );
+
+        if let Some(p) = next {
+            panels = p;
+        }
+    }
+}
+
+/// OuterUpdate(k-panels only): relax the (k+1)-th block row and column with
+/// the k-th panels, so DiagUpdate(k+1)/PanelUpdate(k+1) can run before the
+/// bulk OuterUpdate(k) finishes.
+fn lookahead_update<S: Semiring>(a: &mut DistMatrix<S::Elem>, next: usize, panels: &PanelSet<S::Elem>) {
+    // row strip `next`: A(next, :) ⊕= A(next, k) ⊗ A(k, :)
+    if a.owns_row(next) {
+        let r0 = a.local_row_start(next);
+        let bk1 = a.block_dim(next);
+        let col_slice = panels.col_panel.subview(r0, 0, bk1, panels.col_panel.cols());
+        let mut strip = a.row_strip_mut(next);
+        gemm_blocked::<S>(&mut strip, &col_slice, &panels.row_panel.view());
+    }
+    // column strip `next`: A(:, next) ⊕= A(:, k) ⊗ A(k, next)
+    if a.owns_col(next) {
+        let c0 = a.local_col_start(next);
+        let bk1 = a.block_dim(next);
+        let row_slice = panels.row_panel.subview(0, c0, panels.row_panel.rows(), bk1);
+        let mut strip = a.col_strip_mut(next);
+        gemm_blocked::<S>(&mut strip, &panels.col_panel.view(), &row_slice);
+    }
+}

@@ -1,0 +1,185 @@
+//! Incremental Floyd-Warshall — the paper's §7 future-work item
+//! ("we plan to extend this work to support … incremental Floyd-Warshall,
+//! which [is] critical in applications").
+//!
+//! Given a solved distance matrix, an edge insertion or weight *decrease*
+//! `(u, v, w)` is absorbed in `O(n²)`: every pair `(i, j)` can only improve
+//! by routing through the new edge, so
+//! `d[i][j] ← d[i][j] ⊕ (d[i][u] ⊗ w ⊗ d[v][j])`.
+//! Weight increases and deletions can invalidate routes and require
+//! recomputation in general; [`decrease_edge`] detects and rejects them.
+//!
+//! A batched form applies `m` updates in `O(m·n²)`, which beats the `O(n³)`
+//! re-solve whenever `m ≪ n` — exactly the dynamic-graph use case
+//! (traffic updates on a road network, new facts in a knowledge graph).
+
+use srgemm::matrix::Matrix;
+use srgemm::semiring::Semiring;
+
+/// Errors from the incremental updater.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncrementalError {
+    /// The new weight does not improve on the current `d[u][v]`; an
+    /// increase cannot be absorbed incrementally (it may invalidate paths).
+    NotADecrease,
+    /// Endpoint out of range.
+    BadVertex,
+}
+
+/// Absorb an improved (or new) edge `u → v` of weight `w` into a solved
+/// all-pairs matrix, in `O(n²)`. The matrix must already be a closure
+/// (output of any `fw_*` solver). Returns the number of pairs improved.
+///
+/// Works over any idempotent semiring where "improve" means the new value
+/// differs from the ⊕-combination (min-plus: strictly smaller).
+pub fn decrease_edge<S: Semiring>(
+    d: &mut Matrix<S::Elem>,
+    u: usize,
+    v: usize,
+    w: S::Elem,
+) -> Result<usize, IncrementalError> {
+    let n = d.rows();
+    if u >= n || v >= n {
+        return Err(IncrementalError::BadVertex);
+    }
+    // reject non-improving updates: d[u][v] ⊕ w must differ from d[u][v]
+    let combined = S::add(d[(u, v)], w);
+    if combined == d[(u, v)] {
+        return Err(IncrementalError::NotADecrease);
+    }
+
+    // snapshot the u-th column and v-th row: the update reads d[i][u] and
+    // d[v][j], both of which it may also write
+    let col_u: Vec<S::Elem> = (0..n).map(|i| d[(i, u)]).collect();
+    let row_v: Vec<S::Elem> = (0..n).map(|j| d[(v, j)]).collect();
+
+    let mut improved = 0usize;
+    for i in 0..n {
+        let through = S::mul(col_u[i], w);
+        let drow = d.row_mut(i);
+        for j in 0..n {
+            let cand = S::mul(through, row_v[j]);
+            let new = S::add(drow[j], cand);
+            if new != drow[j] {
+                drow[j] = new;
+                improved += 1;
+            }
+        }
+    }
+    Ok(improved)
+}
+
+/// Apply a batch of candidate edge updates; non-improving entries are
+/// skipped. Returns total improved pairs.
+pub fn decrease_edges<S: Semiring>(
+    d: &mut Matrix<S::Elem>,
+    updates: &[(usize, usize, S::Elem)],
+) -> usize {
+    let mut total = 0;
+    for &(u, v, w) in updates {
+        match decrease_edge::<S>(d, u, v, w) {
+            Ok(k) => total += k,
+            Err(IncrementalError::NotADecrease) => {}
+            Err(IncrementalError::BadVertex) => panic!("edge endpoint out of range"),
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fw_seq::fw_seq;
+    use apsp_graph::generators::{self, WeightKind};
+    use apsp_graph::graph::Graph;
+    use srgemm::MinPlusF32;
+
+    fn solved(n: usize, p: f64, seed: u64) -> (Graph, Matrix<f32>) {
+        let g = generators::erdos_renyi(n, p, WeightKind::small_ints(), seed);
+        let mut d = g.to_dense();
+        fw_seq::<MinPlusF32>(&mut d);
+        (g, d)
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let (g, mut d) = solved(30, 0.15, 5);
+        // add a shortcut edge
+        let (u, v, w) = (3usize, 27usize, 1.0f32);
+        decrease_edge::<MinPlusF32>(&mut d, u, v, w).expect("improves");
+
+        // full recompute with the edge added
+        let mut b = apsp_graph::graph::GraphBuilder::new(30);
+        for (x, y, wt) in g.edges() {
+            b.add_edge(x, y, wt);
+        }
+        b.add_edge(u, v, w);
+        let mut want = b.build().to_dense();
+        fw_seq::<MinPlusF32>(&mut want);
+        assert!(want.eq_exact(&d));
+    }
+
+    #[test]
+    fn batch_updates_match_recompute() {
+        let (g, mut d) = solved(25, 0.2, 9);
+        let updates = [(0usize, 20usize, 2.0f32), (5, 10, 1.0), (18, 2, 3.0)];
+        decrease_edges::<MinPlusF32>(&mut d, &updates);
+
+        let mut b = apsp_graph::graph::GraphBuilder::new(25);
+        for (x, y, wt) in g.edges() {
+            b.add_edge(x, y, wt);
+        }
+        for &(u, v, w) in &updates {
+            b.add_edge(u, v, w);
+        }
+        let mut want = b.build().to_dense();
+        fw_seq::<MinPlusF32>(&mut want);
+        assert!(want.eq_exact(&d));
+    }
+
+    #[test]
+    fn rejects_weight_increase() {
+        let (_, mut d) = solved(10, 0.5, 2);
+        let cur = d[(1, 2)];
+        assert_eq!(
+            decrease_edge::<MinPlusF32>(&mut d, 1, 2, cur + 10.0),
+            Err(IncrementalError::NotADecrease)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_vertex() {
+        let (_, mut d) = solved(10, 0.5, 2);
+        assert_eq!(
+            decrease_edge::<MinPlusF32>(&mut d, 1, 99, 0.5),
+            Err(IncrementalError::BadVertex)
+        );
+    }
+
+    #[test]
+    fn connecting_components_incrementally() {
+        let g = generators::multi_component(20, 2, WeightKind::small_ints(), 4);
+        let mut d = g.to_dense();
+        fw_seq::<MinPlusF32>(&mut d);
+        assert_eq!(d[(0, 19)], f32::INFINITY);
+        // bridge the components
+        let improved = decrease_edge::<MinPlusF32>(&mut d, 0, 10, 5.0).unwrap();
+        assert!(improved > 0);
+        assert!(d[(0, 19)].is_finite());
+        // still a valid closure
+        crate::verify::check_apsp_invariants(&d, "bridged");
+    }
+
+    #[test]
+    fn update_count_is_zero_for_redundant_edge() {
+        let (_, mut d) = solved(15, 0.6, 7);
+        // an edge equal to the existing shortest distance improves nothing
+        let cur = d[(2, 3)];
+        if cur.is_finite() {
+            assert_eq!(
+                decrease_edge::<MinPlusF32>(&mut d, 2, 3, cur),
+                Err(IncrementalError::NotADecrease)
+            );
+        }
+    }
+}

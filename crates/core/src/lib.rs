@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # apsp-core — distributed GPU-offload Floyd-Warshall APSP
+//!
+//! Reproduction of *Scalable All-pairs Shortest Paths for Huge Graphs on
+//! Multi-GPU Clusters* (Sao et al., HPDC 2021) as a Rust library. The
+//! paper's algorithms, bottom-up:
+//!
+//! * [`fw_seq`] — Algorithm 1, the classic `O(n³)` triple loop (plus a
+//!   predecessor-tracking variant for path reconstruction).
+//! * [`fw_blocked`] — Algorithm 2: DiagUpdate / PanelUpdate / MinPlus outer
+//!   product over `b×b` blocks, with the diagonal closed either by
+//!   Floyd-Warshall or by the repeated-squaring Neumann form (Eq. 4).
+//! * [`dist`] — the distributed variants over the [`mpi_sim`] runtime:
+//!   - [`dist::Variant::Baseline`] — Algorithm 3 (bulk-synchronous, tree
+//!     broadcasts),
+//!   - [`dist::Variant::Pipelined`] — Algorithm 4 (look-ahead update,
+//!     panel broadcast overlapped with the outer product),
+//!   - [`dist::Variant::AsyncRing`] — pipelined + bandwidth-optimal ring
+//!     `PanelBcast` (§3.3),
+//!   - [`dist::Variant::Offload`] — `Me-ParallelFw`: the local matrix lives
+//!     in host memory and the outer product is staged through a simulated
+//!     GPU by `ooGSrGemm` (§4.3).
+//! * [`model`] — the paper's performance models: Eq. 1, the §3.4.1
+//!   communication-volume lower bound, Eq. 5, and the §5.1.3 metrics.
+//! * [`schedule`] — lowers each variant to a [`cluster_sim`] task DAG at
+//!   Summit scale; this is what regenerates the paper's Figs. 3–4 and 7–9.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apsp_graph::generators::{uniform_dense, WeightKind};
+//! use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
+//! use srgemm::MinPlusF32;
+//!
+//! let g = uniform_dense(64, WeightKind::small_ints(), 42);
+//! let mut d = g.to_dense();
+//! fw_blocked::<MinPlusF32>(&mut d, 16, DiagMethod::FwClosure, true);
+//! // d now holds all-pairs shortest distances.
+//! assert_eq!(d[(0, 0)], 0.0);
+//! ```
+
+pub mod dc_apsp;
+pub mod dist;
+pub mod fw_blocked;
+pub mod fw_seq;
+pub mod fw_sparse;
+pub mod incremental;
+pub mod model;
+pub mod paths_dist;
+pub mod schedule;
+pub mod verify;
+
+pub use dist::{distributed_apsp, FwConfig, Variant};
+pub use fw_blocked::{fw_blocked, DiagMethod};
+pub use fw_seq::{fw_seq, fw_seq_with_paths};

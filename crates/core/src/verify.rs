@@ -1,0 +1,110 @@
+//! Result-equivalence helpers used across the test suites and harnesses,
+//! mirroring the paper's §5.1: "we experimentally confirmed that the output
+//! of our revised implementations match outputs of the sequential
+//! Floyd-Warshall baseline."
+
+use srgemm::matrix::Matrix;
+
+/// Exact elementwise equality, reporting the first mismatch.
+pub fn assert_matrices_equal(want: &Matrix<f32>, got: &Matrix<f32>, label: &str) {
+    assert_eq!(
+        (want.rows(), want.cols()),
+        (got.rows(), got.cols()),
+        "{label}: shape mismatch"
+    );
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            let (w, g) = (want[(i, j)], got[(i, j)]);
+            assert!(
+                w == g || (w.is_infinite() && g.is_infinite()),
+                "{label}: mismatch at ({i},{j}): want {w}, got {g}"
+            );
+        }
+    }
+}
+
+/// Max absolute difference over finite entries; `∞` entries must agree
+/// exactly. Returns the max difference.
+pub fn max_abs_diff(a: &Matrix<f32>, b: &Matrix<f32>) -> f32 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let mut worst = 0.0f32;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let (x, y) = (a[(i, j)], b[(i, j)]);
+            match (x.is_infinite(), y.is_infinite()) {
+                (true, true) => {}
+                (false, false) => worst = worst.max((x - y).abs()),
+                _ => return f32::INFINITY,
+            }
+        }
+    }
+    worst
+}
+
+/// APSP output invariants that hold regardless of the algorithm used:
+/// zero diagonal, non-negativity (for non-negative inputs), and the
+/// triangle inequality. Cheap enough to run on every harness output.
+pub fn check_apsp_invariants(d: &Matrix<f32>, label: &str) {
+    let n = d.rows();
+    assert_eq!(n, d.cols(), "{label}: not square");
+    for i in 0..n {
+        assert_eq!(d[(i, i)], 0.0, "{label}: diagonal not zero at {i}");
+    }
+    for i in 0..n {
+        for j in 0..n {
+            assert!(d[(i, j)] >= 0.0, "{label}: negative distance at ({i},{j})");
+        }
+    }
+    // spot-check the triangle inequality on a deterministic sample
+    let step = (n / 8).max(1);
+    for i in (0..n).step_by(step) {
+        for j in (0..n).step_by(step) {
+            for k in (0..n).step_by(step) {
+                assert!(
+                    d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-3,
+                    "{label}: triangle violated at ({i},{k},{j})"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_matrices_pass() {
+        let a = Matrix::from_rows(&[&[0.0, f32::INFINITY], &[1.0, 0.0]]);
+        assert_matrices_equal(&a, &a.clone(), "self");
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at (0,1)")]
+    fn different_matrices_fail_with_location() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 2.0]]);
+        assert_matrices_equal(&a, &b, "demo");
+    }
+
+    #[test]
+    fn inf_vs_finite_is_infinite_diff() {
+        let a = Matrix::from_rows(&[&[f32::INFINITY]]);
+        let b = Matrix::from_rows(&[&[5.0]]);
+        assert_eq!(max_abs_diff(&a, &b), f32::INFINITY);
+    }
+
+    #[test]
+    fn invariants_accept_valid_apsp() {
+        let d = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[9.0, 0.0, 1.0], &[8.0, 9.0, 0.0]]);
+        check_apsp_invariants(&d, "valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle")]
+    fn invariants_reject_triangle_violation() {
+        let d = Matrix::from_rows(&[&[0.0, 10.0, 1.0], &[1.0, 0.0, 1.0], &[1.0, 1.0, 0.0]]);
+        check_apsp_invariants(&d, "bad");
+    }
+}

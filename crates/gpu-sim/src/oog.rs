@@ -1,0 +1,334 @@
+//! Out-of-GPU semiring matrix multiplication (`ooGSrGemm`, paper §4.3–4.4).
+//!
+//! Computes `C ← C ⊕ A ⊗ B` where `C` (m×n) lives in *host* memory and may
+//! exceed device capacity; only `A` (m×k), `B` (k×n) and `s` tile buffers of
+//! `m_x × n_x` reside on the device. The tile loop round-robins output tiles
+//! over `s` streams; `A_i` row-slabs and `B_j` column-slabs are uploaded
+//! once, when first touched (the §4.4 input pipelining); the host consumes
+//! finished tiles in initiation order and ⊕-accumulates them into `C`
+//! (`hostUpdate`). SRGEMM, d2hXfer and hostUpdate overlap across streams —
+//! the execution order of the paper's Fig. 2.
+
+use srgemm::matrix::{Matrix, View, ViewMut};
+use srgemm::semiring::Semiring;
+
+use crate::device::{DeviceBuffer, Oom, SimGpu};
+use crate::stream::{host_update, host_update_timed, Event, Stream};
+
+/// Tiling and stream configuration for [`oog_srgemm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OogConfig {
+    /// Output tile rows (`m_x`).
+    pub mx: usize,
+    /// Output tile cols (`n_x`).
+    pub nx: usize,
+    /// Number of CUDA streams (`s`). 1 = fully serialized; ≥3 overlaps all
+    /// three pipeline stages (§4.5).
+    pub streams: usize,
+}
+
+impl OogConfig {
+    /// Paper-flavored default: 2k×2k tiles on 3 streams ("performance is
+    /// close to peak even for buffers of dimension 2k×2k", §5.3.1).
+    pub fn new(mx: usize, nx: usize, streams: usize) -> Self {
+        assert!(mx > 0 && nx > 0 && streams > 0, "tile dims and stream count must be positive");
+        OogConfig { mx, nx, streams }
+    }
+}
+
+/// Outcome of an offload GEMM: simulated time and throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OogStats {
+    /// End-to-end simulated seconds (until the last hostUpdate).
+    pub sim_time: f64,
+    /// Semiring flops performed (2mnk).
+    pub flops: f64,
+    /// Output tiles processed.
+    pub tiles: usize,
+    /// Device bytes held at the high-water mark.
+    pub device_bytes: u64,
+}
+
+impl OogStats {
+    /// Simulated throughput in Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.sim_time / 1e9
+    }
+}
+
+/// Functional + timed offload GEMM: `C ← C ⊕ A ⊗ B`.
+///
+/// Returns [`Oom`] if `A`, `B` and the `s` tile buffers do not fit on the
+/// device together (the caller — `Me-ParallelFw` — picks `m_x`, `n_x`
+/// accordingly).
+pub fn oog_srgemm<S: Semiring>(
+    gpu: &SimGpu,
+    cfg: &OogConfig,
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    b: &View<'_, S::Elem>,
+) -> Result<OogStats, Oom> {
+    let (m, n, k) = (c.rows(), c.cols(), a.cols());
+    assert_eq!(a.rows(), m, "A rows must match C rows");
+    assert_eq!(b.rows(), k, "B rows must match A cols");
+    assert_eq!(b.cols(), n, "B cols must match C cols");
+    gpu.reset_clocks();
+
+    let mb = m.div_ceil(cfg.mx).max(1);
+    let nb = n.div_ceil(cfg.nx).max(1);
+    let s = cfg.streams;
+
+    // Device residency: row slabs of A, column slabs of B, s tile buffers.
+    let mut a_slabs: Vec<Option<(DeviceBuffer<S::Elem>, Event, usize)>> = (0..mb).map(|_| None).collect();
+    let mut b_slabs: Vec<Option<(DeviceBuffer<S::Elem>, Event, usize)>> = (0..nb).map(|_| None).collect();
+    let mut x_bufs = Vec::with_capacity(s);
+    for _ in 0..s {
+        x_bufs.push(gpu.alloc::<S::Elem>(cfg.mx * cfg.nx, S::zero())?);
+    }
+    // Pre-reserve A and B so an eventual Oom fires before any work is done.
+    let need = ((m * k + k * n) * std::mem::size_of::<S::Elem>()) as u64;
+    if need > gpu.free_bytes() {
+        return Err(Oom { requested: need, available: gpu.free_bytes() });
+    }
+
+    let mut streams: Vec<Stream> = (0..s).map(|_| gpu.stream()).collect();
+    // host-consumption event per stream: next srgemm on that stream must not
+    // overwrite X before the host has read the previous tile
+    let mut host_free: Vec<Event> = vec![Event { at: 0.0 }; s];
+    let mut staging = vec![S::zero(); cfg.mx * cfg.nx];
+    let mut tiles = 0usize;
+    let mut high_water = gpu.used_bytes();
+
+    for i in 0..mb {
+        let i0 = i * cfg.mx;
+        let ib = cfg.mx.min(m - i0);
+        for j in 0..nb {
+            let j0 = j * cfg.nx;
+            let jb = cfg.nx.min(n - j0);
+            let r = tiles % s;
+            let st = &mut streams[r];
+
+            // pipelined input uploads: first touch sends the slab
+            if a_slabs[i].is_none() {
+                let buf = gpu.alloc::<S::Elem>(ib * k, S::zero())?;
+                let data = a.subview(i0, 0, ib, k).to_vec();
+                let ev = st.h2d(&buf, &data);
+                a_slabs[i] = Some((buf, ev, ib));
+            }
+            if b_slabs[j].is_none() {
+                let buf = gpu.alloc::<S::Elem>(k * jb, S::zero())?;
+                let data = b.subview(0, j0, k, jb).to_vec();
+                let ev = st.h2d(&buf, &data);
+                b_slabs[j] = Some((buf, ev, jb));
+            }
+            high_water = high_water.max(gpu.used_bytes());
+
+            let (a_buf, a_ev, _) = a_slabs[i].as_ref().expect("A slab resident");
+            let (b_buf, b_ev, _) = b_slabs[j].as_ref().expect("B slab resident");
+
+            // the tile's srgemm waits for its inputs and for the host to
+            // have consumed this stream's previous tile
+            st.wait_until(a_ev.at.max(b_ev.at).max(host_free[r].at));
+            st.srgemm::<S>(&x_bufs[r], a_buf, b_buf, ib, jb, k, true);
+            let d2h_ev = st.d2h(&x_bufs[r], &mut staging[..ib * jb]);
+
+            // hostUpdate: serialized on the host-memory engine, in initiation order
+            let x_tile = Matrix::from_vec(ib, jb, staging[..ib * jb].to_vec());
+            let mut c_tile = c.subview_mut(i0, j0, ib, jb);
+            let done = host_update::<S>(gpu, d2h_ev, &mut c_tile, &x_tile.view());
+            host_free[r] = done;
+            tiles += 1;
+        }
+    }
+
+    Ok(OogStats {
+        sim_time: gpu.now(),
+        flops: 2.0 * m as f64 * n as f64 * k as f64,
+        tiles,
+        device_bytes: high_water,
+    })
+}
+
+/// Timing-only replay of the [`oog_srgemm`] schedule for an `m×n×k` product
+/// of `elem_bytes`-element data: identical clock arithmetic, no data. Used
+/// by the Fig. 5/6 harnesses at Summit scale.
+pub fn oog_srgemm_model(
+    gpu: &SimGpu,
+    cfg: &OogConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> Result<OogStats, Oom> {
+    gpu.reset_clocks();
+    let eb = elem_bytes as f64;
+    let mb = m.div_ceil(cfg.mx).max(1);
+    let nb = n.div_ceil(cfg.nx).max(1);
+    let s = cfg.streams;
+
+    let need = ((m * k + k * n + s * cfg.mx * cfg.nx) * elem_bytes) as u64;
+    if need > gpu.spec().mem_bytes {
+        return Err(Oom { requested: need, available: gpu.spec().mem_bytes });
+    }
+
+    let mut streams: Vec<Stream> = (0..s).map(|_| gpu.stream()).collect();
+    let mut host_free: Vec<Event> = vec![Event { at: 0.0 }; s];
+    let mut a_up: Vec<Option<Event>> = vec![None; mb];
+    let mut b_up: Vec<Option<Event>> = vec![None; nb];
+    let mut tiles = 0usize;
+
+    for i in 0..mb {
+        let i0 = i * cfg.mx;
+        let ib = cfg.mx.min(m - i0);
+        for j in 0..nb {
+            let j0 = j * cfg.nx;
+            let jb = cfg.nx.min(n - j0);
+            let r = tiles % s;
+            let st = &mut streams[r];
+
+            if a_up[i].is_none() {
+                a_up[i] = Some(st.h2d_timed((ib * k) as f64 * eb));
+            }
+            if b_up[j].is_none() {
+                b_up[j] = Some(st.h2d_timed((k * jb) as f64 * eb));
+            }
+            let a_ev = a_up[i].expect("A slab uploaded");
+            let b_ev = b_up[j].expect("B slab uploaded");
+
+            st.wait_until(a_ev.at.max(b_ev.at).max(host_free[r].at));
+            st.srgemm_timed(2.0 * ib as f64 * jb as f64 * k as f64);
+            let d2h_ev = st.d2h_timed((ib * jb) as f64 * eb);
+            host_free[r] = host_update_timed(gpu, d2h_ev, (ib * jb) as f64, eb);
+            tiles += 1;
+        }
+    }
+
+    Ok(OogStats {
+        sim_time: gpu.now(),
+        flops: 2.0 * m as f64 * n as f64 * k as f64,
+        tiles,
+        device_bytes: need,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::OffloadCosts;
+    use crate::spec::GpuSpec;
+    use srgemm::gemm::gemm_naive;
+    use srgemm::{Matrix, MinPlusF32};
+
+    fn lcg(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 256) as f32
+        })
+    }
+
+    #[test]
+    fn oog_matches_in_core_gemm() {
+        let gpu = SimGpu::new(GpuSpec::test_tiny());
+        let (m, n, k) = (37, 29, 11);
+        let a = lcg(m, k, 1);
+        let b = lcg(k, n, 2);
+        let mut want = lcg(m, n, 3);
+        let mut got = want.clone();
+        gemm_naive::<MinPlusF32>(&mut want.view_mut(), &a.view(), &b.view());
+        let cfg = OogConfig::new(8, 8, 3);
+        let stats =
+            oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut got.view_mut(), &a.view(), &b.view()).unwrap();
+        assert!(want.eq_exact(&got));
+        assert_eq!(stats.tiles, 5 * 4);
+        assert!(stats.sim_time > 0.0);
+    }
+
+    #[test]
+    fn oog_single_stream_matches_too() {
+        let gpu = SimGpu::new(GpuSpec::test_tiny());
+        let a = lcg(16, 8, 4);
+        let b = lcg(8, 16, 5);
+        let mut want = Matrix::filled(16, 16, f32::INFINITY);
+        let mut got = want.clone();
+        gemm_naive::<MinPlusF32>(&mut want.view_mut(), &a.view(), &b.view());
+        let cfg = OogConfig::new(5, 7, 1);
+        oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut got.view_mut(), &a.view(), &b.view()).unwrap();
+        assert!(want.eq_exact(&got));
+    }
+
+    #[test]
+    fn oog_fails_with_oom_when_operands_exceed_device() {
+        let gpu = SimGpu::new(GpuSpec::test_tiny()); // 1 MiB
+        let n = 512; // A+B = 2*512*512*4 B = 2 MiB > capacity
+        let a = Matrix::filled(n, n, 1.0f32);
+        let b = a.clone();
+        let mut c = a.clone();
+        let cfg = OogConfig::new(64, 64, 2);
+        let err = oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut c.view_mut(), &a.view(), &b.view());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn more_streams_cut_simulated_time() {
+        let gpu = SimGpu::new(GpuSpec::summit_v100());
+        // k small → transfer/host bound → overlap helps
+        let run = |s| {
+            oog_srgemm_model(&gpu, &OogConfig::new(2048, 2048, s), 16384, 16384, 256, 4)
+                .unwrap()
+                .sim_time
+        };
+        let t1 = run(1);
+        let t3 = run(3);
+        assert!(t3 < t1, "3 streams ({t3}) must beat 1 ({t1})");
+    }
+
+    #[test]
+    fn model_tracks_analytic_cost_for_three_streams() {
+        // with ≥3 streams and k ≥ k_min the pipeline should run at ~t0
+        let gpu = SimGpu::new(GpuSpec::summit_v100());
+        let (m, n, k) = (32768, 32768, 768);
+        let stats = oog_srgemm_model(&gpu, &OogConfig::new(2048, 2048, 3), m, n, k, 4).unwrap();
+        let analytic = OffloadCosts::new(gpu.spec(), m, n, k, 4);
+        assert!(analytic.compute_bound());
+        let ratio = stats.sim_time / analytic.t0;
+        assert!(
+            (0.95..1.35).contains(&ratio),
+            "sim {} vs t0 {} (ratio {ratio})",
+            stats.sim_time,
+            analytic.t0
+        );
+    }
+
+    #[test]
+    fn small_block_sizes_fall_off_peak() {
+        // Fig. 5's shape: block size below the Eq. 5 threshold ⇒ well under
+        // peak; above it ⇒ close to peak.
+        let gpu = SimGpu::new(GpuSpec::summit_v100());
+        let run = |k: usize| {
+            oog_srgemm_model(&gpu, &OogConfig::new(2048, 2048, 4), 32768, 32768, k, 4)
+                .unwrap()
+                .gflops()
+        };
+        let peak = gpu.spec().srgemm_flops / 1e9;
+        let lo = run(128);
+        let hi = run(1024);
+        assert!(lo < 0.55 * peak, "k=128 should be far from peak: {lo} vs {peak}");
+        assert!(hi > 0.8 * peak, "k=1024 should be near peak: {hi} vs {peak}");
+    }
+
+    #[test]
+    fn functional_and_model_clocks_agree() {
+        let gpu1 = SimGpu::new(GpuSpec::test_tiny());
+        let gpu2 = SimGpu::new(GpuSpec::test_tiny());
+        let (m, n, k) = (24, 24, 8);
+        let a = lcg(m, k, 7);
+        let b = lcg(k, n, 8);
+        let mut c = lcg(m, n, 9);
+        let cfg = OogConfig::new(8, 8, 2);
+        let f = oog_srgemm::<MinPlusF32>(&gpu1, &cfg, &mut c.view_mut(), &a.view(), &b.view()).unwrap();
+        let t = oog_srgemm_model(&gpu2, &cfg, m, n, k, 4).unwrap();
+        assert!((f.sim_time - t.sim_time).abs() < 1e-12, "{} vs {}", f.sim_time, t.sim_time);
+        assert_eq!(f.tiles, t.tiles);
+    }
+}

@@ -1,0 +1,96 @@
+//! Bellman-Ford single-source shortest paths.
+//!
+//! `O(nm)` relaxation-based SSSP that tolerates negative edges and detects
+//! negative cycles — the "embarrassingly parallel but not work optimal"
+//! alternative inside Johnson's algorithm (paper §6). It is also what makes
+//! [`crate::johnson::johnson_apsp`] applicable to negative-weight inputs.
+
+use crate::graph::{Graph, INF};
+
+/// Result of a Bellman-Ford run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BellmanFord {
+    /// Distances from the source (`∞` for unreachable).
+    Distances(Vec<f32>),
+    /// The graph contains a negative-weight cycle reachable from the source.
+    NegativeCycle,
+}
+
+/// Run Bellman-Ford from `src`.
+pub fn bellman_ford(g: &Graph, src: usize) -> BellmanFord {
+    let n = g.n();
+    assert!(src < n, "source out of range");
+    let mut dist = vec![INF; n];
+    dist[src] = 0.0;
+    // n-1 full relaxation rounds with early exit
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for (u, v, w) in g.edges() {
+            if dist[u] < INF && dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return BellmanFord::Distances(dist);
+        }
+    }
+    // one more round: any improvement ⇒ negative cycle
+    for (u, v, w) in g.edges() {
+        if dist[u] < INF && dist[u] + w < dist[v] {
+            return BellmanFord::NegativeCycle;
+        }
+    }
+    BellmanFord::Distances(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::generators::{self, WeightKind};
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn matches_dijkstra_on_nonnegative_graph() {
+        let g = generators::erdos_renyi(20, 0.3, WeightKind::small_ints(), 9);
+        for s in [0, 7, 19] {
+            match bellman_ford(&g, s) {
+                BellmanFord::Distances(d) => assert_eq!(d, dijkstra(&g, s)),
+                BellmanFord::NegativeCycle => panic!("no negative cycle exists"),
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_edges_without_cycle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 5.0).add_edge(1, 2, -3.0).add_edge(0, 2, 4.0);
+        match bellman_ford(&b.build(), 0) {
+            BellmanFord::Distances(d) => assert_eq!(d, vec![0.0, 5.0, 2.0]),
+            BellmanFord::NegativeCycle => panic!(),
+        }
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, -2.0).add_edge(2, 1, 1.0);
+        assert_eq!(bellman_ford(&b.build(), 0), BellmanFord::NegativeCycle);
+    }
+
+    #[test]
+    fn unreachable_negative_cycle_is_ignored() {
+        // cycle lives in a component the source can't reach
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, -5.0).add_edge(3, 2, 1.0);
+        match bellman_ford(&b.build(), 0) {
+            BellmanFord::Distances(d) => {
+                assert_eq!(d[1], 1.0);
+                assert_eq!(d[2], INF);
+            }
+            BellmanFord::NegativeCycle => panic!("cycle is unreachable from 0"),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Breadth-first search — the unit-weight SSSP oracle, used to validate
+//! Seidel's algorithm and the unweighted corners of the solvers.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+
+/// Hop counts from `src` (`u32::MAX` = unreachable). Edge weights are
+/// ignored; every edge counts 1.
+pub fn bfs(g: &Graph, src: usize) -> Vec<u32> {
+    let n = g.n();
+    assert!(src < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src as u32);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        let (ts, _) = g.out_edges(u as usize);
+        for &v in ts {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs hop counts by repeated BFS.
+pub fn apsp_by_bfs(g: &Graph) -> srgemm::Matrix<f32> {
+    let n = g.n();
+    let mut out = srgemm::Matrix::filled(n, n, f32::INFINITY);
+    for s in 0..n {
+        for (t, &d) in bfs(g, s).iter().enumerate() {
+            if d != u32::MAX {
+                out[(s, t)] = d as f32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn line_graph_hops() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 9.0).add_edge(1, 2, 9.0).add_edge(2, 3, 9.0);
+        assert_eq!(bfs(&b.build(), 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weights_are_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 100.0).add_edge(1, 2, 100.0).add_edge(0, 2, 1.0);
+        let d = bfs(&b.build(), 0);
+        assert_eq!(d[2], 1); // direct edge = 1 hop regardless of weight
+    }
+
+    #[test]
+    fn unreachable_vertices() {
+        let g = generators::multi_component(10, 2, WeightKind::small_ints(), 1);
+        let d = bfs(&g, 0);
+        assert_eq!(d[9], u32::MAX);
+        assert_eq!(d[0], 0);
+    }
+
+    #[test]
+    fn bfs_matches_dijkstra_on_unit_weights() {
+        let g = generators::erdos_renyi(30, 0.15, WeightKind::Integer { lo: 1, hi: 1 }, 8);
+        let dij = crate::dijkstra::apsp_by_dijkstra(&g);
+        let hops = apsp_by_bfs(&g);
+        assert!(dij.eq_exact(&hops));
+    }
+}

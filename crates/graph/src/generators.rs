@@ -1,0 +1,271 @@
+//! Seeded workload generators.
+//!
+//! The paper's evaluation (§5.1.4) runs on **dense uniform random** distance
+//! matrices; [`uniform_dense`] reproduces that workload. The other families
+//! exist for correctness tests (multi-component, adversarial) and for the
+//! example applications (roads, similarity graphs).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Weight regime for generated edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightKind {
+    /// Uniform real weights in `[lo, hi)`.
+    Real {
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (exclusive).
+        hi: f32,
+    },
+    /// Uniform integer weights in `[lo, hi]`, stored as f32. Integer weights
+    /// make every shortest-path sum exact in f32 (up to 2^24), so oracle
+    /// comparisons in tests can demand bitwise equality.
+    Integer {
+        /// Lower bound (inclusive).
+        lo: u32,
+        /// Upper bound (inclusive).
+        hi: u32,
+    },
+}
+
+impl WeightKind {
+    /// Default for tests: small exact integers.
+    pub fn small_ints() -> Self {
+        WeightKind::Integer { lo: 1, hi: 100 }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        match *self {
+            WeightKind::Real { lo, hi } => rng.random_range(lo..hi),
+            WeightKind::Integer { lo, hi } => rng.random_range(lo..=hi) as f32,
+        }
+    }
+}
+
+/// Graph families exposed to the harness binaries and tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphKind {
+    /// Dense uniform random digraph — the paper's workload.
+    UniformDense,
+    /// Erdős–Rényi `G(n, p)` digraph.
+    ErdosRenyi {
+        /// Independent edge probability.
+        p: f64,
+    },
+    /// 4-connected grid, road-network-like.
+    Grid {
+        /// Grid width; height is derived from the vertex count.
+        width: usize,
+    },
+    /// Directed ring with shortcut chords — known closed-form distances.
+    Ring,
+    /// Several disconnected dense blobs.
+    MultiComponent {
+        /// Number of components.
+        components: usize,
+    },
+}
+
+/// Generate a graph of the given family on `n` vertices.
+pub fn generate(kind: GraphKind, n: usize, weights: WeightKind, seed: u64) -> Graph {
+    match kind {
+        GraphKind::UniformDense => uniform_dense(n, weights, seed),
+        GraphKind::ErdosRenyi { p } => erdos_renyi(n, p, weights, seed),
+        GraphKind::Grid { width } => grid(width, n.div_ceil(width.max(1)), weights, seed),
+        GraphKind::Ring => ring_with_chords(n, weights, seed),
+        GraphKind::MultiComponent { components } => multi_component(n, components, weights, seed),
+    }
+}
+
+/// Dense uniform random digraph: every ordered pair `(i, j)`, `i ≠ j`, gets
+/// an edge (§5.1.4's "dense uniform random matrix").
+pub fn uniform_dense(n: usize, weights: WeightKind, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.add_edge(i, j, weights.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each ordered pair independently present with
+/// probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.random_bool(p) {
+                b.add_edge(i, j, weights.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `width × height` 4-neighbor grid with undirected random-weight edges —
+/// a road-network stand-in for the routing example.
+pub fn grid(width: usize, height: usize, weights: WeightKind, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = width * height;
+    let mut b = GraphBuilder::new(n);
+    let id = |x: usize, y: usize| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                b.add_undirected(id(x, y), id(x + 1, y), weights.sample(&mut rng));
+            }
+            if y + 1 < height {
+                b.add_undirected(id(x, y), id(x, y + 1), weights.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed ring `i → i+1 (mod n)` plus `n/4` random chords. The ring alone
+/// has closed-form distances, which tests exploit.
+pub fn ring_with_chords(n: usize, weights: WeightKind, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n, weights.sample(&mut rng));
+    }
+    for _ in 0..n / 4 {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            b.add_edge(u, v, weights.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+/// Plain directed ring with unit weights: `dist(i, j) = (j - i) mod n`.
+pub fn unit_ring(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n, 1.0);
+    }
+    b.build()
+}
+
+/// `components` disconnected dense blobs — exercises the paper's claim that
+/// the implementation "will work when there are multiple connected
+/// components" (§2.1).
+pub fn multi_component(n: usize, components: usize, weights: WeightKind, seed: u64) -> Graph {
+    assert!(components >= 1, "need at least one component");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let per = n.div_ceil(components);
+    for c in 0..components {
+        let lo = c * per;
+        let hi = ((c + 1) * per).min(n);
+        for i in lo..hi {
+            for j in lo..hi {
+                if i != j {
+                    b.add_edge(i, j, weights.sample(&mut rng));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph on the unit square: vertices within `radius`
+/// are connected by an edge weighted with their Euclidean distance. Used by
+/// the road-network example. Returns the graph and the point positions.
+pub fn geometric(n: usize, radius: f64, seed: u64) -> (Graph, Vec<(f64, f64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius {
+                b.add_undirected(i, j, d as f32);
+            }
+        }
+    }
+    (b.build(), pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_dense_has_all_pairs() {
+        let g = uniform_dense(10, WeightKind::small_ints(), 1);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 90);
+        for (_, _, w) in g.edges() {
+            assert!((1.0..=100.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let a = uniform_dense(8, WeightKind::Real { lo: 0.0, hi: 1.0 }, 42);
+        let b = uniform_dense(8, WeightKind::Real { lo: 0.0, hi: 1.0 }, 42);
+        let c = uniform_dense(8, WeightKind::Real { lo: 0.0, hi: 1.0 }, 43);
+        assert_eq!(a.total_weight(), b.total_weight());
+        assert_ne!(a.total_weight(), c.total_weight());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(10, 0.0, WeightKind::small_ints(), 1);
+        assert_eq!(empty.m(), 0);
+        let full = erdos_renyi(10, 1.0, WeightKind::small_ints(), 1);
+        assert_eq!(full.m(), 90);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // 3x2 grid: horizontal 2*2, vertical 3*1 → 7 undirected = 14 directed
+        let g = grid(3, 2, WeightKind::small_ints(), 1);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 14);
+    }
+
+    #[test]
+    fn unit_ring_distances_are_modular() {
+        let g = unit_ring(5);
+        assert_eq!(g.weight(4, 0), 1.0);
+        assert_eq!(g.weight(0, 2), f32::INFINITY);
+        assert_eq!(g.m(), 5);
+    }
+
+    #[test]
+    fn multi_component_has_no_cross_edges() {
+        let g = multi_component(9, 3, WeightKind::small_ints(), 7);
+        for (u, v, _) in g.edges() {
+            assert_eq!(u / 3, v / 3, "edge {u}->{v} crosses components");
+        }
+    }
+
+    #[test]
+    fn geometric_weights_equal_distances() {
+        let (g, pts) = geometric(30, 0.5, 3);
+        for (u, v, w) in g.edges() {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            let d = (dx * dx + dy * dy).sqrt() as f32;
+            assert!((w - d).abs() < 1e-6);
+            assert!(w <= 0.5 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # apsp-graph — weighted digraphs, workload generators, and oracles
+//!
+//! Support crate for the APSP-FW workspace:
+//!
+//! * [`graph`] — a compact CSR weighted digraph and conversions to/from the
+//!   dense distance matrices consumed by the Floyd-Warshall kernels.
+//! * [`generators`] — seeded workload generators. The paper evaluates on
+//!   *dense uniform random* matrices (§5.1.4); we add sparse, structured and
+//!   multi-component families for correctness tests and the example apps.
+//! * [`dijkstra`], [`bellman_ford`], [`johnson`], [`delta_stepping`] —
+//!   reference single-source/all-pairs algorithms from the paper's related
+//!   work (§6), used as correctness oracles and single-node comparators.
+//! * [`paths`] — parent-pointer path extraction and path validation.
+
+pub mod bellman_ford;
+pub mod bfs;
+pub mod components;
+pub mod delta_stepping;
+pub mod dijkstra;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod johnson;
+pub mod paths;
+pub mod seidel;
+
+pub use graph::{Graph, GraphBuilder, INF};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::bellman_ford::bellman_ford;
+    pub use crate::bfs::{apsp_by_bfs, bfs};
+    pub use crate::components::{componentwise_apsp, weak_components};
+    pub use crate::delta_stepping::delta_stepping;
+    pub use crate::dijkstra::{dijkstra, dijkstra_with_parents};
+    pub use crate::generators::{self, GraphKind};
+    pub use crate::graph::{Graph, GraphBuilder, INF};
+    pub use crate::johnson::johnson_apsp;
+    pub use crate::paths::{extract_path, path_length, validate_path};
+    pub use crate::seidel::seidel_apsp;
+}

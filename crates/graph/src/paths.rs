@@ -1,0 +1,116 @@
+//! Parent-pointer path extraction and validation helpers.
+//!
+//! Used by the examples (route printing) and by tests that check not just
+//! distances but the realizability of the reported paths. Distributed
+//! shortest-*path* generation is the paper's declared future work (§7); the
+//! single-node predecessor machinery here plus `apsp_core::fw_seq::fw_seq_with_paths`
+//! implements that extension at library scale.
+
+use crate::graph::{Graph, INF};
+
+/// Follow `parent` pointers from `dst` back to `src`.
+/// Returns the vertex sequence `src … dst`, or `None` if `dst` is unreachable.
+pub fn extract_path(parent: &[usize], src: usize, dst: usize) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while parent[cur] != usize::MAX {
+        cur = parent[cur];
+        path.push(cur);
+        if cur == src {
+            path.reverse();
+            return Some(path);
+        }
+        if path.len() > parent.len() {
+            return None; // cycle in parent pointers — corrupt input
+        }
+    }
+    None
+}
+
+/// Sum of edge weights along `path`; `∞` if some edge is missing.
+pub fn path_length(g: &Graph, path: &[usize]) -> f32 {
+    let mut total = 0.0;
+    for win in path.windows(2) {
+        let w = g.weight(win[0], win[1]);
+        if w == INF {
+            return INF;
+        }
+        total += w;
+    }
+    total
+}
+
+/// Check that `path` starts at `src`, ends at `dst`, uses only existing
+/// edges, and has total length `expected` (within `tol`).
+pub fn validate_path(g: &Graph, path: &[usize], src: usize, dst: usize, expected: f32, tol: f32) -> bool {
+    if path.first() != Some(&src) || path.last() != Some(&dst) {
+        return false;
+    }
+    let len = path_length(g, path);
+    if len == INF && expected == INF {
+        return true;
+    }
+    (len - expected).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_with_parents;
+    use crate::generators::{self, WeightKind};
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn extracts_simple_path() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0).add_edge(2, 3, 1.0);
+        let g = b.build();
+        let (d, parent) = dijkstra_with_parents(&g, 0);
+        let p = extract_path(&parent, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert!(validate_path(&g, &p, 0, 3, d[3], 1e-6));
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let parent = vec![usize::MAX; 3];
+        assert_eq!(extract_path(&parent, 1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn unreachable_gives_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let (_, parent) = dijkstra_with_parents(&g, 0);
+        assert_eq!(extract_path(&parent, 0, 2), None);
+    }
+
+    #[test]
+    fn validate_rejects_fake_paths() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0);
+        let g = b.build();
+        // 0 -> 2 directly is not an edge
+        assert!(!validate_path(&g, &[0, 2], 0, 2, 2.0, 1e-6));
+        // wrong total
+        assert!(!validate_path(&g, &[0, 1, 2], 0, 2, 5.0, 1e-6));
+        // right path, right total
+        assert!(validate_path(&g, &[0, 1, 2], 0, 2, 2.0, 1e-6));
+    }
+
+    #[test]
+    fn random_graph_paths_realize_reported_distances() {
+        let g = generators::erdos_renyi(30, 0.2, WeightKind::small_ints(), 17);
+        let (d, parent) = dijkstra_with_parents(&g, 3);
+        for t in 0..30 {
+            if d[t] < INF {
+                let p = extract_path(&parent, 3, t).unwrap();
+                assert!(validate_path(&g, &p, 3, t, d[t], 1e-4));
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-equivalence of the SSSP/APSP oracles on random graphs: four
+//! independent algorithms must agree exactly on integer-weighted inputs.
+
+use proptest::prelude::*;
+
+use apsp_graph::bellman_ford::{bellman_ford, BellmanFord};
+use apsp_graph::delta_stepping::delta_stepping;
+use apsp_graph::dijkstra::dijkstra;
+use apsp_graph::generators::{erdos_renyi, WeightKind};
+use apsp_graph::graph::{GraphBuilder, INF};
+use apsp_graph::johnson::johnson_apsp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn four_sssp_algorithms_agree(
+        n in 2usize..40,
+        p in 0.05f64..0.6,
+        seed in any::<u64>(),
+        delta_exp in 0u32..8,
+    ) {
+        let g = erdos_renyi(n, p, WeightKind::small_ints(), seed);
+        let src = (seed as usize) % n;
+        let want = dijkstra(&g, src);
+        match bellman_ford(&g, src) {
+            BellmanFord::Distances(bf) => prop_assert_eq!(&bf, &want),
+            BellmanFord::NegativeCycle => prop_assert!(false, "non-negative graph"),
+        }
+        let ds = delta_stepping(&g, src, (1 << delta_exp) as f32);
+        prop_assert_eq!(&ds, &want);
+        let j = johnson_apsp(&g).expect("no negative cycles");
+        prop_assert_eq!(j.row(src), &want[..]);
+    }
+
+    #[test]
+    fn johnson_handles_random_negative_dags(n in 2usize..25, seed in any::<u64>()) {
+        // edges only forward (i < j) with weights in [-10, 90]: a DAG, so no
+        // cycles at all, negative edges allowed
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() % 3 == 0 {
+                    b.add_edge(i, j, ((next() % 100) as f32) - 10.0);
+                }
+            }
+        }
+        let g = b.build();
+        let apsp = johnson_apsp(&g).expect("DAG has no cycles");
+        // validate every row against Bellman-Ford (which tolerates negatives)
+        for s in 0..n {
+            match bellman_ford(&g, s) {
+                BellmanFord::Distances(bf) => {
+                    for t in 0..n {
+                        let (a, b_) = (apsp[(s, t)], bf[t]);
+                        if a == INF || b_ == INF {
+                            prop_assert_eq!(a, b_);
+                        } else {
+                            prop_assert!((a - b_).abs() < 1e-3, "({s},{t}): {a} vs {b_}");
+                        }
+                    }
+                }
+                BellmanFord::NegativeCycle => prop_assert!(false, "DAG cannot have cycles"),
+            }
+        }
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_inequality(n in 2usize..30, p in 0.1f64..0.7, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, WeightKind::small_ints(), seed);
+        let apsp = johnson_apsp(&g).expect("non-negative");
+        for i in 0..n {
+            prop_assert_eq!(apsp[(i, i)], 0.0);
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(apsp[(i, j)] <= apsp[(i, k)] + apsp[(k, j)] + 1e-3);
+                }
+            }
+        }
+    }
+}

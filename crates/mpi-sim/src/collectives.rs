@@ -1,0 +1,320 @@
+//! Collective operations built on tag-matched p2p.
+//!
+//! Two broadcast algorithms, matching the paper's §3.3:
+//!
+//! * [`Comm::bcast`] — binomial tree, `⌈log₂ p⌉` rounds; latency-optimal.
+//!   This is the "library broadcast" used for the small, critical-path
+//!   `DiagBcast`.
+//! * [`Comm::ring_bcast`] — pipelined ring; every rank sends and receives
+//!   each byte exactly once (bandwidth-optimal), the nearer successors of
+//!   the root finish early, and consecutive broadcasts from different roots
+//!   overlap freely — the asynchrony that lets `Co-ParallelFw` drift across
+//!   iterations.
+
+use crate::comm::{Comm, INTERNAL_TAG};
+use crate::payload::Payload;
+
+impl Comm {
+    /// Block until every member of the communicator has entered the barrier.
+    pub fn barrier(&self) {
+        let op = self.next_op();
+        let tag = INTERNAL_TAG | op;
+        if self.size() == 1 {
+            return;
+        }
+        if self.rank() == 0 {
+            for src in 1..self.size() {
+                let _: () = self.recv_raw(src, tag);
+            }
+        } else {
+            self.send_raw(0, tag, ());
+        }
+        // release: binomial fan-out of an empty token
+        self.bcast_internal(0, if self.rank() == 0 { Some(()) } else { None }, tag | (1 << 62));
+    }
+
+    /// Binomial-tree broadcast from `root`. The root passes `Some(data)`,
+    /// everyone else `None`; all members return the broadcast value.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn bcast<T: Payload + Clone>(&self, root: usize, data: Option<T>) -> T {
+        let op = self.next_op();
+        self.bcast_internal(root, data, INTERNAL_TAG | op)
+    }
+
+    fn bcast_internal<T: Payload + Clone>(&self, root: usize, data: Option<T>, tag: u64) -> T {
+        let (rank, size) = (self.rank(), self.size());
+        assert_eq!(
+            rank == root,
+            data.is_some(),
+            "exactly the root must supply the broadcast payload"
+        );
+        if size == 1 {
+            return data.expect("root payload");
+        }
+        let relative = (rank + size - root) % size;
+
+        // receive phase: my parent is relative - lowest_set_bit(relative)
+        let mut value = data;
+        let mut mask = 1usize;
+        while mask < size {
+            if relative & mask != 0 {
+                let src = (relative - mask + root) % size;
+                value = Some(self.recv_raw::<T>(src, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        // forward phase: children are relative + mask for decreasing masks
+        let value = value.expect("broadcast value must have arrived");
+        let mut mask = mask >> 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let dst = (relative + mask + root) % size;
+                self.send_raw(dst, tag, value.clone());
+            }
+            mask >>= 1;
+        }
+        value
+    }
+
+    /// Pipelined ring broadcast of a slice-able payload from `root`,
+    /// split into `nchunks` chunks (§3.3). Bandwidth-optimal: each rank
+    /// receives and forwards every byte exactly once. Returns the
+    /// reassembled vector on every rank.
+    pub fn ring_bcast<T: Copy + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        data: Option<Vec<T>>,
+        nchunks: usize,
+    ) -> Vec<T> {
+        let op = self.next_op();
+        let tag = INTERNAL_TAG | op;
+        let (rank, size) = (self.rank(), self.size());
+        assert_eq!(
+            rank == root,
+            data.is_some(),
+            "exactly the root must supply the ring-broadcast payload"
+        );
+        if size == 1 {
+            return data.expect("root payload");
+        }
+        let relative = (rank + size - root) % size;
+        let succ = (rank + 1) % size;
+        let pred = (rank + size - 1) % size;
+        let is_last = relative == size - 1;
+
+        // chunk messages travel on `tag`; the chunk-count header on `hdr`.
+        let hdr = tag | (1 << 62);
+        if rank == root {
+            let data = data.expect("root payload");
+            let nchunks = nchunks.clamp(1, data.len().max(1));
+            let chunk = data.len().div_ceil(nchunks).max(1);
+            self.send_raw(succ, hdr, nchunks as u64);
+            let mut sent = 0;
+            for c in 0..nchunks {
+                let lo = (c * chunk).min(data.len());
+                let hi = ((c + 1) * chunk).min(data.len());
+                self.send_raw(succ, tag, data[lo..hi].to_vec());
+                sent += 1;
+            }
+            debug_assert_eq!(sent, nchunks);
+            data
+        } else {
+            let nchunks: u64 = self.recv_raw(pred, hdr);
+            if !is_last {
+                self.send_raw(succ, hdr, nchunks);
+            }
+            let mut out = Vec::new();
+            for _ in 0..nchunks {
+                let chunk: Vec<T> = self.recv_raw(pred, tag);
+                if !is_last {
+                    self.send_raw(succ, tag, chunk.clone());
+                }
+                out.extend_from_slice(&chunk);
+            }
+            out
+        }
+    }
+
+    /// Gather one value from every rank to `root` (in rank order).
+    /// Returns `Some(values)` at the root, `None` elsewhere.
+    pub fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let op = self.next_op();
+        let tag = INTERNAL_TAG | op;
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv_raw(src, tag));
+                }
+            }
+            Some(out.into_iter().map(|v| v.expect("gathered")).collect())
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// Every rank contributes one value; every rank gets the full rank-ordered
+    /// vector. Implemented as one broadcast per contributor, which keeps the
+    /// payload bound at `T: Payload` (no `Vec<T>` wire format needed).
+    pub fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
+        (0..self.size())
+            .map(|root| self.bcast(root, (self.rank() == root).then(|| value.clone())))
+            .collect()
+    }
+
+    /// Fold all ranks' values with `op` (applied in rank order) and return
+    /// the result on every rank.
+    pub fn allreduce<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let gathered = self.gather(0, value);
+        let folded = gathered.map(|vs| {
+            let mut it = vs.into_iter();
+            let first = it.next().expect("non-empty communicator");
+            it.fold(first, &op)
+        });
+        self.bcast(0, folded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::placement::Placement;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..5 {
+            let out = Runtime::new(5).run(move |comm| {
+                let data = (comm.rank() == root).then(|| vec![root as u64, 99]);
+                comm.bcast(root, data)
+            });
+            for v in out {
+                assert_eq!(v, vec![root as u64, 99]);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bcast_delivers_identical_data() {
+        for root in [0, 2, 6] {
+            let payload: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+            let expect = payload.clone();
+            let out = Runtime::new(7).run(move |comm| {
+                let data = (comm.rank() == root).then(|| payload.clone());
+                comm.ring_bcast(root, data, 8)
+            });
+            for v in out {
+                assert_eq!(v, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bcast_handles_tiny_and_empty_payloads() {
+        let out = Runtime::new(3).run(|comm| {
+            let a = comm.ring_bcast(0, (comm.rank() == 0).then(|| vec![5u8]), 16);
+            let b = comm.ring_bcast(1, (comm.rank() == 1).then(Vec::<u8>::new), 4);
+            (a, b)
+        });
+        for (a, b) in out {
+            assert_eq!(a, vec![5u8]);
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_bcast_moves_minimal_bytes() {
+        // p ranks, one per node: ring broadcast of B bytes must put exactly
+        // (p-1)*B data bytes on the wire (each rank receives once) —
+        // vs binomial which is the same total but unbalanced per node.
+        let payload = vec![0u8; 1024];
+        let rt = Runtime::new(4);
+        let (_, report) = rt.run_traced(move |comm| {
+            let data = (comm.rank() == 0).then(|| payload.clone());
+            comm.ring_bcast(0, data, 4);
+        });
+        // each of the 3 forwarding hops moves 1024 data bytes + an 8-byte
+        // chunk-count header
+        assert_eq!(report.total_nic_bytes(), 3 * (1024 + 8));
+        // per-node egress is balanced: every non-tail rank sends once
+        let egress = report.nic_egress.clone();
+        assert_eq!(egress[0], 1032);
+        assert_eq!(egress[1], 1032);
+        assert_eq!(egress[2], 1032);
+        assert_eq!(egress[3], 0); // ring tail
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PHASE1: AtomicUsize = AtomicUsize::new(0);
+        let out = Runtime::new(6).run(|comm| {
+            PHASE1.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // after the barrier, everyone must have bumped the counter
+            PHASE1.load(Ordering::SeqCst)
+        });
+        for v in out {
+            assert_eq!(v, 6);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let out = Runtime::new(4).run(|comm| comm.allgather(comm.rank() as u64 * 10));
+        for v in out {
+            assert_eq!(v, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_and_sum() {
+        let out = Runtime::new(5).run(|comm| {
+            let r = comm.rank() as f64;
+            let min = comm.allreduce(r, f64::min);
+            let sum = comm.allreduce(r, |a, b| a + b);
+            (min, sum)
+        });
+        for (min, sum) in out {
+            assert_eq!(min, 0.0);
+            assert_eq!(sum, 10.0);
+        }
+    }
+
+    #[test]
+    fn collectives_work_on_split_subcommunicators() {
+        let out = Runtime::new(6).run(|comm| {
+            let row = comm.split((comm.rank() / 3) as u64, (comm.rank() % 3) as u64);
+            let v = row.allreduce(comm.rank() as u64, |a, b| a + b);
+            v
+        });
+        assert_eq!(out[0], 0 + 1 + 2);
+        assert_eq!(out[5], 3 + 4 + 5);
+    }
+
+    #[test]
+    fn tiled_placement_cuts_nic_traffic_for_column_bcast() {
+        // 4x4 grid, Q=4. Contiguous packs whole rows per node, so a column
+        // broadcast crosses NICs on every hop; tiled 2x2 keeps half the
+        // column hops in-node.
+        let run = |placement: Placement| {
+            let rt = Runtime::new(16).with_placement(placement);
+            let (_, report) = rt.run_traced(|comm| {
+                let col = comm.split((comm.rank() % 4) as u64, (comm.rank() / 4) as u64);
+                let data = (col.rank() == 0).then(|| vec![0u8; 4096]);
+                col.ring_bcast(0, data, 4);
+            });
+            report.total_nic_bytes()
+        };
+        let contiguous = run(Placement::contiguous(4, 4, 4));
+        let tiled = run(Placement::tiled(4, 4, 2, 2));
+        assert!(
+            tiled < contiguous,
+            "tiled ({tiled}) should beat contiguous ({contiguous})"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Communicators: p2p endpoints plus MPI-style `split`.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::counters::Counters;
+use crate::p2p::Mailbox;
+use crate::payload::Payload;
+use crate::placement::Placement;
+
+/// Tags with the top bit set are reserved for collectives.
+pub(crate) const INTERNAL_TAG: u64 = 1 << 63;
+
+/// State shared by all ranks of a runtime.
+pub(crate) struct Shared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) counters: Counters,
+    pub(crate) placement: Placement,
+    pub(crate) recv_timeout: Duration,
+    splits: Mutex<HashMap<(u64, u64), SplitSlot>>,
+    splits_cv: Condvar,
+    ctx_alloc: Mutex<CtxAlloc>,
+}
+
+#[derive(Default)]
+struct CtxAlloc {
+    next: u64,
+    by_origin: HashMap<(u64, u64, u64), u64>,
+}
+
+#[derive(Default)]
+struct SplitSlot {
+    /// (color, key, world rank, rank in parent)
+    entries: Vec<(u64, u64, usize, usize)>,
+}
+
+impl Shared {
+    pub(crate) fn new(p: usize, placement: Placement, recv_timeout: Duration) -> Self {
+        assert_eq!(placement.num_ranks(), p, "placement covers a different rank count");
+        Shared {
+            mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+            counters: Counters::new(placement.num_nodes()),
+            placement,
+            recv_timeout,
+            splits: Mutex::new(HashMap::new()),
+            splits_cv: Condvar::new(),
+            ctx_alloc: Mutex::new(CtxAlloc { next: 1, by_origin: HashMap::new() }),
+        }
+    }
+
+    /// Deterministic context id for the sub-communicator born from
+    /// `(parent ctx, split op, color)` — every member resolves to the same id.
+    fn ctx_for(&self, parent: u64, op: u64, color: u64) -> u64 {
+        let mut alloc = self.ctx_alloc.lock();
+        if let Some(&id) = alloc.by_origin.get(&(parent, op, color)) {
+            return id;
+        }
+        let id = alloc.next;
+        alloc.next += 1;
+        alloc.by_origin.insert((parent, op, color), id);
+        id
+    }
+}
+
+/// A communicator handle owned by one rank's thread.
+///
+/// `rank`/`size` are relative to this communicator; `members` maps
+/// communicator ranks to world ranks. All collectives and `split` must be
+/// called by every member in the same order (standard MPI contract).
+pub struct Comm {
+    pub(crate) ctx: u64,
+    rank: usize,
+    members: Arc<Vec<usize>>,
+    pub(crate) shared: Arc<Shared>,
+    op_seq: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn world(shared: Arc<Shared>, world_rank: usize) -> Self {
+        let p = shared.mailboxes.len();
+        Comm {
+            ctx: 0,
+            rank: world_rank,
+            members: Arc::new((0..p).collect()),
+            shared,
+            op_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's id within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of communicator member `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Node hosting communicator member `r` (per the runtime's placement).
+    pub fn node_of(&self, r: usize) -> usize {
+        self.shared.placement.node_of(self.members[r])
+    }
+
+    /// Reserve the next collective-operation sequence number.
+    pub(crate) fn next_op(&self) -> u64 {
+        let op = self.op_seq.get();
+        self.op_seq.set(op + 1);
+        op
+    }
+
+    /// Buffered (non-blocking) tagged send to communicator rank `dst`.
+    ///
+    /// # Panics
+    /// Panics if `tag` uses the reserved top bit or `dst` is out of range.
+    pub fn send<T: Payload>(&self, dst: usize, tag: u64, msg: T) {
+        assert!(tag & INTERNAL_TAG == 0, "user tags must not set the top bit");
+        self.send_raw(dst, tag, msg)
+    }
+
+    pub(crate) fn send_raw<T: Payload>(&self, dst: usize, tag: u64, msg: T) {
+        let src_world = self.members[self.rank];
+        let dst_world = self.members[dst];
+        let bytes = msg.size_bytes();
+        self.shared
+            .counters
+            .record(&self.shared.placement, src_world, dst_world, bytes);
+        self.shared.mailboxes[dst_world].deliver((self.ctx, self.rank, tag), bytes, Box::new(msg));
+    }
+
+    /// Blocking tagged receive from communicator rank `src`.
+    pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
+        assert!(tag & INTERNAL_TAG == 0, "user tags must not set the top bit");
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
+        let my_world = self.members[self.rank];
+        self.shared.mailboxes[my_world]
+            .recv::<T>((self.ctx, src, tag), self.shared.recv_timeout)
+            .0
+    }
+
+    /// Non-blocking probe for a pending message.
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        let my_world = self.members[self.rank];
+        self.shared.mailboxes[my_world].probe((self.ctx, src, tag))
+    }
+
+    /// Collective: partition members by `color`; within a color, ranks are
+    /// ordered by `(key, parent rank)`. Returns this rank's sub-communicator.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        let op = self.next_op();
+        let slot_key = (self.ctx, op);
+        let world = self.members[self.rank];
+        let parent_size = self.size();
+        {
+            let mut splits = self.shared.splits.lock();
+            let slot = splits.entry(slot_key).or_default();
+            slot.entries.push((color, key, world, self.rank));
+            if slot.entries.len() == parent_size {
+                self.shared.splits_cv.notify_all();
+            } else {
+                while splits.get(&slot_key).map(|s| s.entries.len()) != Some(parent_size) {
+                    if self
+                        .shared
+                        .splits_cv
+                        .wait_for(&mut splits, self.shared.recv_timeout)
+                        .timed_out()
+                    {
+                        panic!("split timed out: not all ranks reached the split call");
+                    }
+                }
+            }
+        }
+        // read phase: slot complete; compute my sub-communicator
+        let splits = self.shared.splits.lock();
+        let slot = &splits[&slot_key];
+        let mut mine: Vec<(u64, usize, usize)> = slot
+            .entries
+            .iter()
+            .filter(|e| e.0 == color)
+            .map(|&(_, k, w, pr)| (k, pr, w))
+            .collect();
+        drop(splits);
+        mine.sort_unstable();
+        let members: Vec<usize> = mine.iter().map(|&(_, _, w)| w).collect();
+        let my_rank = members.iter().position(|&w| w == world).expect("self in split");
+        Comm {
+            ctx: self.shared.ctx_for(self.ctx, op, color),
+            rank: my_rank,
+            members: Arc::new(members),
+            shared: self.shared.clone(),
+            op_seq: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn send_recv_between_ranks() {
+        let out = Runtime::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1.0f32, 2.0]);
+                0.0
+            } else {
+                let v: Vec<f32> = comm.recv(0, 5);
+                v.iter().sum::<f32>()
+            }
+        });
+        assert_eq!(out[1], 3.0);
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order_sends() {
+        let out = Runtime::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u64);
+                comm.send(1, 2, 20u64);
+                0
+            } else {
+                // receive in the opposite order of sending
+                let b: u64 = comm.recv(0, 2);
+                let a: u64 = comm.recv(0, 1);
+                a * 100 + b
+            }
+        });
+        assert_eq!(out[1], 1020);
+    }
+
+    #[test]
+    fn split_builds_row_communicators() {
+        // 6 ranks → 2 colors of 3; rank order inside = key order
+        let out = Runtime::new(6).run(|comm| {
+            let color = (comm.rank() / 3) as u64;
+            let key = (comm.rank() % 3) as u64;
+            let sub = comm.split(color, key);
+            // ring of partial sums inside the sub-communicator
+            (sub.size(), sub.rank(), sub.world_rank_of(0))
+        });
+        assert_eq!(out[0], (3, 0, 0));
+        assert_eq!(out[4], (3, 1, 3));
+        assert_eq!(out[5], (3, 2, 3));
+    }
+
+    #[test]
+    fn split_subcomm_messages_do_not_leak_across_colors() {
+        let out = Runtime::new(4).run(|comm| {
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(color, comm.rank() as u64);
+            if sub.rank() == 0 {
+                comm.barrier(); // let both sends happen before receives
+                sub.send(1, 3, (color + 1) * 111);
+                comm.barrier();
+                0
+            } else {
+                comm.barrier();
+                comm.barrier();
+                sub.recv::<u64>(0, 3)
+            }
+        });
+        // ranks 2 and 3 are rank 1 of their color's subcomm
+        assert_eq!(out[2], 111); // color 0
+        assert_eq!(out[3], 222); // color 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn user_tag_top_bit_rejected() {
+        Runtime::new(1).run(|comm| comm.send(0, 1 << 63, 0u8));
+    }
+}

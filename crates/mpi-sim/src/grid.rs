@@ -1,0 +1,137 @@
+//! 2-D process grids and block-cyclic ownership (paper §2.5.1).
+
+use crate::comm::Comm;
+
+/// A `P_r × P_c` process grid layered over a communicator, with row and
+/// column sub-communicators. Grid coordinates are row-major:
+/// `rank = r · P_c + c`.
+pub struct ProcessGrid {
+    /// The full grid communicator.
+    pub grid: Comm,
+    /// This rank's row communicator (all ranks sharing `my_row`), ordered by
+    /// column.
+    pub row: Comm,
+    /// This rank's column communicator, ordered by row.
+    pub col: Comm,
+    pr: usize,
+    pc: usize,
+}
+
+impl ProcessGrid {
+    /// Build the grid collectively. Every member of `comm` must call this
+    /// with the same `(pr, pc)`.
+    ///
+    /// # Panics
+    /// Panics if `pr · pc != comm.size()`.
+    pub fn new(comm: Comm, pr: usize, pc: usize) -> Self {
+        assert_eq!(pr * pc, comm.size(), "grid dims must cover the communicator");
+        let my_r = comm.rank() / pc;
+        let my_c = comm.rank() % pc;
+        let row = comm.split(my_r as u64, my_c as u64);
+        let col = comm.split((pr as u64) + my_c as u64, my_r as u64);
+        ProcessGrid { grid: comm, row, col, pr, pc }
+    }
+
+    /// `(P_r, P_c)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.pr, self.pc)
+    }
+
+    /// This rank's `(row, col)` coordinates.
+    pub fn coords(&self) -> (usize, usize) {
+        (self.grid.rank() / self.pc, self.grid.rank() % self.pc)
+    }
+
+    /// Grid rank of coordinates `(r, c)`.
+    pub fn rank_of(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.pr && c < self.pc);
+        r * self.pc + c
+    }
+
+    /// Block-cyclic owner of block `(i, j)`: grid coordinates
+    /// `(i mod P_r, j mod P_c)` (paper §2.5.1).
+    pub fn block_owner(&self, i: usize, j: usize) -> usize {
+        self.rank_of(i % self.pr, j % self.pc)
+    }
+
+    /// Does this rank own block `(i, j)`?
+    pub fn owns_block(&self, i: usize, j: usize) -> bool {
+        self.block_owner(i, j) == self.grid.rank()
+    }
+
+    /// Process-row index that owns block-row `k` (`P_r(k)` in the paper).
+    pub fn prow_of(&self, k: usize) -> usize {
+        k % self.pr
+    }
+
+    /// Process-column index that owns block-column `k` (`P_c(k)`).
+    pub fn pcol_of(&self, k: usize) -> usize {
+        k % self.pc
+    }
+
+    /// Block-rows of a `nb × nb` block matrix owned by process-row `r`:
+    /// `r, r+P_r, r+2P_r, …`.
+    pub fn my_block_rows(&self, nb: usize) -> Vec<usize> {
+        let (r, _) = self.coords();
+        (r..nb).step_by(self.pr).collect()
+    }
+
+    /// Block-columns owned by this rank's process-column.
+    pub fn my_block_cols(&self, nb: usize) -> Vec<usize> {
+        let (_, c) = self.coords();
+        (c..nb).step_by(self.pc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn coordinates_and_subcomms_line_up() {
+        let out = Runtime::new(6).run(|comm| {
+            let g = ProcessGrid::new(comm, 2, 3);
+            let (r, c) = g.coords();
+            (r, c, g.row.rank(), g.row.size(), g.col.rank(), g.col.size())
+        });
+        // rank 4 → (1, 1): row rank = col coord, col rank = row coord
+        assert_eq!(out[4], (1, 1, 1, 3, 1, 2));
+        assert_eq!(out[0], (0, 0, 0, 3, 0, 2));
+        assert_eq!(out[5], (1, 2, 2, 3, 1, 2));
+    }
+
+    #[test]
+    fn block_cyclic_ownership() {
+        let out = Runtime::new(4).run(|comm| {
+            let g = ProcessGrid::new(comm, 2, 2);
+            (g.block_owner(0, 0), g.block_owner(3, 2), g.block_owner(5, 5))
+        });
+        for &(a, b, c) in &out {
+            assert_eq!(a, 0); // (0,0)
+            assert_eq!(b, 2); // (1,0) → rank 1*2+0
+            assert_eq!(c, 3); // (1,1)
+        }
+    }
+
+    #[test]
+    fn my_block_rows_stride_by_pr() {
+        let out = Runtime::new(6).run(|comm| {
+            let g = ProcessGrid::new(comm, 2, 3);
+            g.my_block_rows(7)
+        });
+        assert_eq!(out[0], vec![0, 2, 4, 6]); // grid row 0
+        assert_eq!(out[3], vec![1, 3, 5]); // grid row 1
+    }
+
+    #[test]
+    fn row_comm_exchanges_stay_in_row() {
+        let out = Runtime::new(4).run(|comm| {
+            let g = ProcessGrid::new(comm, 2, 2);
+            // row broadcast: column 0 member broadcasts its grid rank
+            let data = (g.row.rank() == 0).then(|| g.grid.rank() as u64);
+            g.row.bcast(0, data)
+        });
+        assert_eq!(out, vec![0, 0, 2, 2]);
+    }
+}

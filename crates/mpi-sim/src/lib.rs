@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # mpi-sim — a thread-backed message-passing runtime
+//!
+//! Stand-in for MPI (the paper runs IBM Spectrum MPI on Summit): every rank
+//! is an OS thread, point-to-point messages are tag-matched through per-rank
+//! mailboxes, and collectives (binomial-tree broadcast, **pipelined ring
+//! broadcast**, barriers, gathers) are built on top of p2p exactly as MPI
+//! implementations build theirs.
+//!
+//! Two features matter for reproducing the paper:
+//!
+//! * **Ring broadcast (§3.3)** — [`collectives`] implements both the
+//!   latency-optimal binomial tree (the "library broadcast") and the
+//!   bandwidth-optimal pipelined ring used for `PanelBcast`.
+//! * **Traffic accounting (§3.4, §5.1.3)** — a [`placement::Placement`]
+//!   assigns ranks to *nodes*; [`counters`] splits every byte sent into
+//!   intra-node and inter-node (NIC) traffic, so the communication-volume
+//!   lower bound `t_w · (n²·Q_r/P_r + n²·Q_c/P_c)` can be *measured* on real
+//!   runs instead of asserted.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpi_sim::Runtime;
+//!
+//! // 4 ranks: everybody learns rank 0's payload via binomial broadcast.
+//! let results = Runtime::new(4).run(|comm| {
+//!     let data = if comm.rank() == 0 { Some(vec![1.0f32, 2.0, 3.0]) } else { None };
+//!     comm.bcast(0, data)
+//! });
+//! assert!(results.iter().all(|v| v == &[1.0, 2.0, 3.0]));
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod counters;
+pub mod grid;
+pub mod p2p;
+pub mod payload;
+pub mod placement;
+pub mod runtime;
+
+pub use comm::Comm;
+pub use counters::TrafficReport;
+pub use grid::ProcessGrid;
+pub use payload::Payload;
+pub use placement::Placement;
+pub use runtime::Runtime;

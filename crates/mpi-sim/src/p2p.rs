@@ -1,0 +1,137 @@
+//! Tag-matched point-to-point mailboxes.
+//!
+//! Sends are buffered (never block), like MPI eager-protocol sends of the
+//! message sizes the FW algorithms use between pipeline stages. Receives
+//! block until a message with the requested `(context, source, tag)` key is
+//! present, with a configurable timeout that converts distributed deadlocks
+//! into immediate test failures instead of hangs.
+
+use std::any::Any;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Matching key: (communicator context, source rank in that communicator, tag).
+pub(crate) type MatchKey = (u64, usize, u64);
+
+struct Envelope {
+    key: MatchKey,
+    bytes: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+/// One rank's incoming-message queue.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<Vec<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message (called by the *sender's* thread).
+    pub(crate) fn deliver(&self, key: MatchKey, bytes: usize, payload: Box<dyn Any + Send>) {
+        let mut q = self.queue.lock();
+        q.push(Envelope { key, bytes, payload });
+        self.cv.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `key`.
+    ///
+    /// # Panics
+    /// Panics after `timeout` (suspected deadlock) or if the payload type
+    /// does not match `T` (mismatched send/recv pair — a program bug).
+    pub(crate) fn recv<T: Send + 'static>(&self, key: MatchKey, timeout: Duration) -> (T, usize) {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.key == key) {
+                let env = q.remove(pos);
+                let bytes = env.bytes;
+                let payload = env
+                    .payload
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "type mismatch on recv: ctx={} src={} tag={} expected {}",
+                            key.0,
+                            key.1,
+                            key.2,
+                            std::any::type_name::<T>()
+                        )
+                    });
+                return (*payload, bytes);
+            }
+            if self.cv.wait_for(&mut q, timeout).timed_out() {
+                let pending: Vec<MatchKey> = q.iter().map(|e| e.key).collect();
+                panic!(
+                    "recv timed out after {timeout:?} waiting for ctx={} src={} tag={}; \
+                     mailbox holds {} message(s): {pending:?} — distributed deadlock?",
+                    key.0,
+                    key.1,
+                    key.2,
+                    pending.len()
+                );
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a matching message queued?
+    pub(crate) fn probe(&self, key: MatchKey) -> bool {
+        self.queue.lock().iter().any(|e| e.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn delivers_in_fifo_order_per_key() {
+        let mb = Mailbox::new();
+        let key = (0, 1, 7);
+        mb.deliver(key, 4, Box::new(10u32));
+        mb.deliver(key, 4, Box::new(20u32));
+        let (a, _) = mb.recv::<u32>(key, Duration::from_secs(1));
+        let (b, _) = mb.recv::<u32>(key, Duration::from_secs(1));
+        assert_eq!((a, b), (10, 20));
+    }
+
+    #[test]
+    fn matches_only_requested_key() {
+        let mb = Mailbox::new();
+        mb.deliver((0, 2, 1), 4, Box::new(99u32));
+        mb.deliver((0, 1, 1), 4, Box::new(42u32));
+        let (got, _) = mb.recv::<u32>((0, 1, 1), Duration::from_secs(1));
+        assert_eq!(got, 42);
+        assert!(mb.probe((0, 2, 1)));
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let t = std::thread::spawn(move || mb2.recv::<u64>((1, 0, 0), Duration::from_secs(5)).0);
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver((1, 0, 0), 8, Box::new(7u64));
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn recv_times_out_on_deadlock() {
+        let mb = Mailbox::new();
+        let _ = mb.recv::<u32>((0, 0, 0), Duration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mb = Mailbox::new();
+        mb.deliver((0, 0, 0), 4, Box::new(1u32));
+        let _ = mb.recv::<f32>((0, 0, 0), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Runtime: spawn a thread per rank and run an SPMD closure.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::comm::{Comm, Shared};
+use crate::counters::TrafficReport;
+use crate::placement::Placement;
+
+/// Configures and launches an SPMD job. Each rank runs the user closure on
+/// its own OS thread with a [`Comm`] world communicator.
+pub struct Runtime {
+    p: usize,
+    placement: Placement,
+    recv_timeout: Duration,
+}
+
+impl Runtime {
+    /// A runtime with `p` ranks, one rank per node (every message is
+    /// inter-node), and a 30 s deadlock-detection timeout.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Runtime {
+            p,
+            placement: Placement::one_rank_per_node(p),
+            recv_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Use an explicit rank→node placement (paper §3.4).
+    ///
+    /// # Panics
+    /// Panics if the placement's rank count differs from the runtime's.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        assert_eq!(placement.num_ranks(), self.p, "placement rank count mismatch");
+        self.placement = placement;
+        self
+    }
+
+    /// Override the receive timeout (tests of deadlock behaviour shorten it).
+    pub fn with_recv_timeout(mut self, t: Duration) -> Self {
+        self.recv_timeout = t;
+        self
+    }
+
+    /// Run the SPMD closure; returns per-rank results in rank order.
+    pub fn run<R: Send>(&self, f: impl Fn(Comm) -> R + Send + Sync) -> Vec<R> {
+        self.run_traced(f).0
+    }
+
+    /// Like [`Runtime::run`] but also returns the traffic report.
+    pub fn run_traced<R: Send>(
+        &self,
+        f: impl Fn(Comm) -> R + Send + Sync,
+    ) -> (Vec<R>, TrafficReport) {
+        let shared = Arc::new(Shared::new(self.p, self.placement.clone(), self.recv_timeout));
+        let results: Vec<Mutex<Option<R>>> = (0..self.p).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.p);
+            for rank in 0..self.p {
+                let shared = shared.clone();
+                let slot = &results[rank];
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            let comm = Comm::world(shared, rank);
+                            *slot.lock() = Some(f(comm));
+                        })
+                        .expect("spawn rank thread"),
+                );
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+
+        let out = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("rank finished without a result"))
+            .collect();
+        (out, shared.counters.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let out = Runtime::new(5).run(|comm| (comm.rank(), comm.size()));
+        for (i, &(r, s)) in out.iter().enumerate() {
+            assert_eq!(r, i);
+            assert_eq!(s, 5);
+        }
+    }
+
+    #[test]
+    fn traced_run_counts_internode_bytes() {
+        let rt = Runtime::new(2);
+        let (_, report) = rt.run_traced(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 128]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+        });
+        assert_eq!(report.total_nic_bytes(), 128);
+        assert_eq!(report.total_msgs, 1);
+    }
+
+    #[test]
+    fn single_node_placement_reports_zero_nic_traffic() {
+        let rt = Runtime::new(2).with_placement(Placement::single_node(2));
+        let (_, report) = rt.run_traced(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 128]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+        });
+        assert_eq!(report.total_nic_bytes(), 0);
+        assert_eq!(report.total_intra_bytes(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn deadlock_is_converted_to_panic() {
+        Runtime::new(1)
+            .with_recv_timeout(Duration::from_millis(20))
+            .run(|comm| {
+                let _: u8 = comm.recv(0, 9); // nobody ever sends
+            });
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the collectives: any root, any payload size, any
+//! chunking — every rank ends with the same data, and reductions match a
+//! local fold.
+
+use proptest::prelude::*;
+
+use mpi_sim::Runtime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_and_ring_bcast_deliver_identically(
+        p in 1usize..9,
+        root_seed in any::<usize>(),
+        len in 0usize..500,
+        chunks in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let root = root_seed % p;
+        let payload: Vec<u64> = (0..len).map(|i| seed.wrapping_add(i as u64)).collect();
+        let expect = payload.clone();
+        let out = Runtime::new(p).run(move |comm| {
+            let t = comm.bcast(root, (comm.rank() == root).then(|| payload.clone()));
+            let r = comm.ring_bcast(root, (comm.rank() == root).then(|| payload.clone()), chunks);
+            (t, r)
+        });
+        for (t, r) in out {
+            prop_assert_eq!(&t, &expect);
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_local_fold(p in 1usize..8, vals_seed in any::<u64>()) {
+        let vals: Vec<u64> = (0..p).map(|i| vals_seed.rotate_left(i as u32) % 1000).collect();
+        let expect_min = *vals.iter().min().expect("non-empty");
+        let expect_sum: u64 = vals.iter().sum();
+        let vals2 = vals.clone();
+        let out = Runtime::new(p).run(move |comm| {
+            let mine = vals2[comm.rank()];
+            (comm.allreduce(mine, u64::min), comm.allreduce(mine, |a, b| a + b))
+        });
+        for (mn, sm) in out {
+            prop_assert_eq!(mn, expect_min);
+            prop_assert_eq!(sm, expect_sum);
+        }
+    }
+
+    #[test]
+    fn allgather_is_rank_ordered(p in 1usize..8, base in any::<u32>()) {
+        let out = Runtime::new(p).run(move |comm| {
+            comm.allgather(base.wrapping_add(comm.rank() as u32))
+        });
+        let expect: Vec<u32> = (0..p).map(|r| base.wrapping_add(r as u32)).collect();
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(p in 2usize..10, colors in 1usize..4) {
+        let out = Runtime::new(p).run(move |comm| {
+            let color = (comm.rank() % colors) as u64;
+            let sub = comm.split(color, comm.rank() as u64);
+            (color, sub.rank(), sub.size())
+        });
+        for (rank, &(color, sub_rank, sub_size)) in out.iter().enumerate() {
+            let members: Vec<usize> = (0..p).filter(|r| (r % colors) as u64 == color).collect();
+            prop_assert_eq!(sub_size, members.len());
+            prop_assert_eq!(members[sub_rank], rank);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Semiring GEMM kernels: `C ← C ⊕ A ⊗ B`.
+//!
+//! Three implementations share one contract:
+//!
+//! * [`gemm_naive`] — triple loop, the correctness oracle;
+//! * [`gemm_blocked`] — cache-tiled i-k-j kernel, the serial workhorse;
+//! * [`gemm_parallel`] — rayon over disjoint row slabs of `C`, standing in
+//!   for the GPU SRGEMM of the paper's §2.6/§4.1.
+//!
+//! The accumulate-into-C contract matches the paper's *MinPlus outer product*
+//! (`A(i,j) ← A(i,j) ⊕ A(i,k) ⊗ A(k,j)`) and cuASR's epilogue semantics.
+
+mod blocked;
+mod naive;
+mod parallel;
+
+pub use blocked::{gemm_blocked, gemm_blocked_tiled};
+pub use naive::gemm_naive;
+pub use parallel::gemm_parallel;
+
+use crate::matrix::{View, ViewMut};
+use crate::semiring::Semiring;
+
+/// Kernel selector, used by benches and the ablation harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmAlgo {
+    /// Triple-loop reference kernel.
+    Naive,
+    /// Cache-blocked serial kernel.
+    Blocked,
+    /// Rayon-parallel blocked kernel.
+    Parallel,
+}
+
+/// Dispatch on a [`GemmAlgo`].
+pub fn gemm_with<S: Semiring>(
+    algo: GemmAlgo,
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    b: &View<'_, S::Elem>,
+) {
+    match algo {
+        GemmAlgo::Naive => gemm_naive::<S>(c, a, b),
+        GemmAlgo::Blocked => gemm_blocked::<S>(c, a, b),
+        GemmAlgo::Parallel => gemm_parallel::<S>(c, a, b),
+    }
+}
+
+/// Default kernel: the cache-blocked serial implementation. Distributed
+/// algorithms that already parallelize across ranks use this to avoid nested
+/// thread pools; single-node code calls [`gemm_parallel`] directly.
+pub fn gemm<S: Semiring>(
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    b: &View<'_, S::Elem>,
+) {
+    gemm_blocked::<S>(c, a, b)
+}
+
+/// Validate `C ← C ⊕ A ⊗ B` operand shapes; every kernel calls this first.
+#[inline]
+pub(crate) fn check_shapes<T: Copy>(c: &ViewMut<'_, T>, a: &View<'_, T>, b: &View<'_, T>) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dimensions disagree");
+    assert_eq!(c.rows(), a.rows(), "gemm: C rows != A rows");
+    assert_eq!(c.cols(), b.cols(), "gemm: C cols != B cols");
+}
+
+/// Flop count convention used throughout the workspace and by the paper:
+/// one ⊕ and one ⊗ per inner-loop step, i.e. `2·m·n·k` for an `m×k · k×n`
+/// product.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::semiring::{MinPlus, RealArith};
+
+    type MP = MinPlus<f32>;
+
+    fn dist(vals: &[&[f32]]) -> Matrix<f32> {
+        Matrix::from_rows(vals)
+    }
+
+    #[test]
+    fn min_plus_product_small() {
+        // C(i,j) = min_k A(i,k) + B(k,j), accumulated into C.
+        let a = dist(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        let b = dist(&[&[0.0, 5.0], &[1.0, 0.0]]);
+        let mut c = Matrix::filled(2, 2, f32::INFINITY);
+        gemm::<MP>(&mut c.view_mut(), &a.view(), &b.view());
+        assert_eq!(c[(0, 0)], 1.0); // min(1+0, 2+1) = 1
+        assert_eq!(c[(0, 1)], 2.0); // min(1+5, 2+0) = 2
+        assert_eq!(c[(1, 0)], 2.0); // min(4+0, 1+1) = 2
+        assert_eq!(c[(1, 1)], 1.0); // min(4+5, 1+0) = 1
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = dist(&[&[10.0]]);
+        let b = dist(&[&[10.0]]);
+        let mut c = dist(&[&[5.0]]);
+        gemm::<MP>(&mut c.view_mut(), &a.view(), &b.view());
+        // existing 5.0 beats 10+10
+        assert_eq!(c[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn infinity_edges_do_not_contaminate() {
+        let inf = f32::INFINITY;
+        let a = dist(&[&[inf, 3.0]]);
+        let b = dist(&[&[1.0], &[inf]]);
+        let mut c = Matrix::filled(1, 1, inf);
+        gemm::<MP>(&mut c.view_mut(), &a.view(), &b.view());
+        assert_eq!(c[(0, 0)], inf); // no finite path
+    }
+
+    #[test]
+    fn real_arith_matches_manual_matmul() {
+        type RA = RealArith<f64>;
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = Matrix::filled(2, 2, 0.0f64);
+        gemm::<RA>(&mut c.view_mut(), &a.view(), &b.view());
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i + j) as f32);
+        let b = Matrix::from_fn(5, 2, |i, j| (i * 2 + j) as f32);
+        let mut c1 = Matrix::filled(3, 2, f32::INFINITY);
+        let mut c2 = c1.clone();
+        gemm_naive::<MP>(&mut c1.view_mut(), &a.view(), &b.view());
+        gemm_blocked::<MP>(&mut c2.view_mut(), &a.view(), &b.view());
+        assert!(c1.eq_exact(&c2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::filled(2, 3, 0.0f32);
+        let b = Matrix::filled(2, 2, 0.0f32);
+        let mut c = Matrix::filled(2, 2, 0.0f32);
+        gemm::<MP>(&mut c.view_mut(), &a.view(), &b.view());
+    }
+
+    #[test]
+    fn zero_sized_k_is_identity_on_c() {
+        let a = Matrix::filled(2, 0, 0.0f32);
+        let b = Matrix::filled(0, 2, 0.0f32);
+        let mut c = dist(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let before = c.clone();
+        gemm::<MP>(&mut c.view_mut(), &a.view(), &b.view());
+        assert!(c.eq_exact(&before));
+    }
+
+    #[test]
+    fn flop_count_convention() {
+        assert_eq!(gemm_flops(10, 20, 30), 2.0 * 10.0 * 20.0 * 30.0);
+    }
+}

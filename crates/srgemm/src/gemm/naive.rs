@@ -1,0 +1,25 @@
+//! Reference triple-loop semiring GEMM. Slow, obviously correct; every other
+//! kernel in the workspace is tested against it.
+
+use crate::matrix::{View, ViewMut};
+use crate::semiring::Semiring;
+
+/// `C ← C ⊕ A ⊗ B`, straight i-j-k loops with no tiling.
+pub fn gemm_naive<S: Semiring>(
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    b: &View<'_, S::Elem>,
+) {
+    super::check_shapes(c, a, b);
+    let (m, n, k) = (c.rows(), c.cols(), a.cols());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c.at(i, j);
+            for l in 0..k {
+                acc = S::fma(acc, a.at(i, l), b.at(l, j));
+            }
+            c.set(i, j, acc);
+        }
+    }
+    let _ = n;
+}

@@ -1,0 +1,106 @@
+//! Rayon-parallel semiring GEMM.
+//!
+//! `C` is partitioned into disjoint row slabs, each slab updated by the
+//! serial blocked kernel on a rayon worker. Row-slab partitioning means no
+//! two workers ever touch the same element of `C`, so no synchronization is
+//! needed inside the kernel — the rayon analogue of assigning threadblocks
+//! to output tiles on the GPU.
+
+use rayon::prelude::*;
+
+use crate::gemm::blocked::gemm_blocked;
+use crate::matrix::{View, ViewMut};
+use crate::semiring::Semiring;
+
+/// Minimum rows per parallel slab; below this the serial kernel is used
+/// outright (spawn overhead would dominate).
+const MIN_ROWS_PER_SLAB: usize = 16;
+
+/// `C ← C ⊕ A ⊗ B`, parallel over row slabs of `C`.
+pub fn gemm_parallel<S: Semiring>(
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    b: &View<'_, S::Elem>,
+) {
+    super::check_shapes(c, a, b);
+    let m = c.rows();
+    let threads = rayon::current_num_threads().max(1);
+    let slab = (m.div_ceil(threads)).max(MIN_ROWS_PER_SLAB);
+    if m <= MIN_ROWS_PER_SLAB || threads == 1 {
+        gemm_blocked::<S>(c, a, b);
+        return;
+    }
+
+    // Reborrow to a local lifetime, then split into disjoint slabs.
+    let c_local = c.subview_mut(0, 0, m, c.cols());
+    let slabs = c_local.chunk_rows_mut(slab);
+    // Pair each C slab with the matching row range of A.
+    let jobs: Vec<(usize, ViewMut<'_, S::Elem>)> = {
+        let mut off = 0;
+        slabs
+            .into_iter()
+            .map(|s| {
+                let here = off;
+                off += s.rows();
+                (here, s)
+            })
+            .collect()
+    };
+    jobs.into_par_iter().for_each(|(row0, mut c_slab)| {
+        let a_slab = a.subview(row0, 0, c_slab.rows(), a.cols());
+        gemm_blocked::<S>(&mut c_slab, &a_slab, b);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use crate::matrix::Matrix;
+    use crate::semiring::{MinPlus, RealArith};
+
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 35) % 512) as f32
+        })
+    }
+
+    #[test]
+    fn parallel_matches_naive_minplus() {
+        let (m, n, k) = (97, 63, 41);
+        let a = lcg_matrix(m, k, 1);
+        let b = lcg_matrix(k, n, 2);
+        let mut c1 = Matrix::filled(m, n, f32::INFINITY);
+        let mut c2 = c1.clone();
+        gemm_naive::<MinPlus<f32>>(&mut c1.view_mut(), &a.view(), &b.view());
+        gemm_parallel::<MinPlus<f32>>(&mut c2.view_mut(), &a.view(), &b.view());
+        assert!(c1.eq_exact(&c2));
+    }
+
+    #[test]
+    fn parallel_matches_naive_small_fallback() {
+        // m below MIN_ROWS_PER_SLAB exercises the serial fallback
+        let a = lcg_matrix(4, 9, 3);
+        let b = lcg_matrix(9, 5, 4);
+        let mut c1 = Matrix::filled(4, 5, f32::INFINITY);
+        let mut c2 = c1.clone();
+        gemm_naive::<MinPlus<f32>>(&mut c1.view_mut(), &a.view(), &b.view());
+        gemm_parallel::<MinPlus<f32>>(&mut c2.view_mut(), &a.view(), &b.view());
+        assert!(c1.eq_exact(&c2));
+    }
+
+    #[test]
+    fn parallel_real_arith_exact_on_integers() {
+        // integer-valued f32s: + and * are exact, so thread order is irrelevant
+        let a = lcg_matrix(64, 32, 5);
+        let b = lcg_matrix(32, 48, 6);
+        let mut c1 = Matrix::filled(64, 48, 0.0f32);
+        let mut c2 = c1.clone();
+        gemm_naive::<RealArith<f32>>(&mut c1.view_mut(), &a.view(), &b.view());
+        gemm_parallel::<RealArith<f32>>(&mut c2.view_mut(), &a.view(), &b.view());
+        // values can exceed f32 integer range? max 512*512*32 ≈ 8.4e6 < 2^24, exact.
+        assert!(c1.eq_exact(&c2));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based checks of the semiring laws and kernel equivalences.
+
+use proptest::prelude::*;
+use srgemm::prelude::*;
+use srgemm::gemm::gemm_with;
+use srgemm::GemmAlgo;
+
+/// Finite tropical elements: moderate magnitudes so ⊗ (=+) never overflows,
+/// with ∞ mixed in at ~20% rate.
+fn tropical_elem() -> impl Strategy<Value = f64> {
+    // Integer-valued doubles: ⊗ (= IEEE +) is exact on them, so the monoid
+    // and distributivity laws hold bit-for-bit (they fail for general floats
+    // only because of rounding, not because the algebra is wrong).
+    prop_oneof![
+        4 => (-1000i64..1000).prop_map(|i| i as f64),
+        1 => Just(f64::INFINITY),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn minplus_add_commutative_associative(a in tropical_elem(), b in tropical_elem(), c in tropical_elem()) {
+        type S = MinPlus<f64>;
+        prop_assert_eq!(S::add(a, b), S::add(b, a));
+        prop_assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));
+    }
+
+    #[test]
+    fn minplus_mul_associative_with_identity(a in tropical_elem(), b in tropical_elem(), c in tropical_elem()) {
+        type S = MinPlus<f64>;
+        prop_assert_eq!(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)));
+        prop_assert_eq!(S::mul(S::one(), a), a);
+        prop_assert_eq!(S::mul(a, S::one()), a);
+    }
+
+    #[test]
+    fn minplus_distributes(a in tropical_elem(), b in tropical_elem(), c in tropical_elem()) {
+        type S = MinPlus<f64>;
+        // a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c): min(a+min(b,c)) vs min(a+b, a+c)
+        prop_assert_eq!(S::mul(a, S::add(b, c)), S::add(S::mul(a, b), S::mul(a, c)));
+        prop_assert_eq!(S::mul(S::add(b, c), a), S::add(S::mul(b, a), S::mul(c, a)));
+    }
+
+    #[test]
+    fn minplus_zero_annihilates(a in tropical_elem()) {
+        type S = MinPlus<f64>;
+        prop_assert_eq!(S::mul(S::zero(), a), S::zero());
+        prop_assert_eq!(S::mul(a, S::zero()), S::zero());
+        prop_assert_eq!(S::add(S::zero(), a), a);
+    }
+
+    #[test]
+    fn minplus_add_idempotent(a in tropical_elem()) {
+        type S = MinPlus<f64>;
+        prop_assert_eq!(S::add(a, a), a);
+    }
+
+    #[test]
+    fn maxmin_laws(a in tropical_elem(), b in tropical_elem(), c in tropical_elem()) {
+        type S = MaxMin<f64>;
+        prop_assert_eq!(S::add(a, b), S::add(b, a));
+        prop_assert_eq!(S::mul(a, S::add(b, c)), S::add(S::mul(a, b), S::mul(a, c)));
+        prop_assert_eq!(S::mul(S::zero(), a), S::zero());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_and_parallel_match_naive(
+        (m, n, k) in (1usize..24, 1usize..24, 1usize..24),
+        seed in any::<u64>(),
+    ) {
+        let mk = |s: u64, rows: usize, cols: usize| {
+            let mut state = s | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (state >> 60) == 0 { f64::INFINITY } else { ((state >> 33) % 2048) as f64 }
+            })
+        };
+        let a = mk(seed, m, k);
+        let b = mk(seed.wrapping_add(1), k, n);
+        let c0 = mk(seed.wrapping_add(2), m, n);
+
+        let mut want = c0.clone();
+        gemm_with::<MinPlus<f64>>(GemmAlgo::Naive, &mut want.view_mut(), &a.view(), &b.view());
+        for algo in [GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            let mut got = c0.clone();
+            gemm_with::<MinPlus<f64>>(algo, &mut got.view_mut(), &a.view(), &b.view());
+            prop_assert!(want.eq_exact(&got), "algo {:?} diverged", algo);
+        }
+    }
+
+    #[test]
+    fn gemm_monotone_in_c(n in 1usize..12, seed in any::<u64>()) {
+        // min-plus gemm can only lower entries of C
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 512) as f64
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let c0 = Matrix::from_fn(n, n, |_, _| next());
+        let mut c = c0.clone();
+        gemm::<MinPlus<f64>>(&mut c.view_mut(), &a.view(), &b.view());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(c[(i, j)] <= c0[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_matches_squaring(n in 1usize..20, seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let base = Matrix::from_fn(n, n, |i, j| {
+            let r = next();
+            if i == j { 0.0 }
+            else if r % 3 == 0 { f64::INFINITY }
+            else { ((r >> 33) % 100) as f64 + 1.0 }
+        });
+        let mut fw = base.clone();
+        let mut sq = base.clone();
+        fw_closure::<MinPlus<f64>>(&mut fw.view_mut());
+        fw_closure_squaring::<MinPlus<f64>>(&mut sq.view_mut(), false);
+        prop_assert!(fw.eq_exact(&sq));
+    }
+
+    #[test]
+    fn closure_triangle_inequality(n in 2usize..16, seed in any::<u64>()) {
+        // after closure: d(i,j) ≤ d(i,k) + d(k,j) for all i,j,k
+        let mut state = seed | 1;
+        let base = Matrix::from_fn(n, n, |i, j| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if i == j { 0.0 } else { ((state >> 33) % 1000) as f64 }
+        });
+        let mut d = base;
+        fw_closure::<MinPlus<f64>>(&mut d.view_mut());
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Dynamic traffic: incremental Floyd-Warshall on a road network.
+//!
+//! ```text
+//! cargo run --release --example dynamic_traffic -- [n]
+//! ```
+//!
+//! Builds a road-like grid, solves APSP once, then streams "traffic
+//! improved" events (new expressway segments) through the `O(n²)`
+//! incremental updater (paper §7 future work) and compares against
+//! re-solving from scratch — the use case where incremental wins by a
+//! factor of `n / #updates`.
+
+use std::time::Instant;
+
+use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
+use apsp_core::incremental::decrease_edge;
+use apsp_core::model::fw_flops;
+use apsp_core::verify::assert_matrices_equal;
+use apsp_graph::generators::{grid, WeightKind};
+use apsp_graph::graph::GraphBuilder;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use srgemm::MinPlusF32;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let width = (n as f64).sqrt().ceil() as usize;
+    println!("== dynamic traffic: {width}x{} road grid ==\n", n.div_ceil(width));
+
+    let roads = grid(width, n.div_ceil(width), WeightKind::Integer { lo: 5, hi: 30 }, 11);
+    let n = roads.n();
+
+    // initial solve
+    let t = Instant::now();
+    let mut dist = roads.to_dense();
+    fw_blocked::<MinPlusF32>(&mut dist, 64, DiagMethod::FwClosure, true);
+    let t_solve = t.elapsed().as_secs_f64();
+    println!(
+        "initial APSP solve: {:.3} s ({:.2} Gflop/s)",
+        t_solve,
+        fw_flops(n) / t_solve / 1e9
+    );
+
+    // stream of expressway openings: long-range fast links
+    let mut rng = StdRng::seed_from_u64(3);
+    let updates: Vec<(usize, usize, f32)> = (0..10)
+        .map(|_| {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            (u, v, 1.0f32)
+        })
+        .filter(|&(u, v, _)| u != v)
+        .collect();
+
+    let t = Instant::now();
+    let mut improved_total = 0usize;
+    for &(u, v, w) in &updates {
+        if let Ok(improved) = decrease_edge::<MinPlusF32>(&mut dist, u, v, w) {
+            improved_total += improved;
+            println!("  expressway {u:>4} → {v:<4}: {improved:>6} pairs improved");
+        }
+    }
+    let t_inc = t.elapsed().as_secs_f64();
+    println!(
+        "\n{} incremental updates: {:.4} s total ({:.0}x faster than re-solving each time)",
+        updates.len(),
+        t_inc,
+        t_solve * updates.len() as f64 / t_inc.max(1e-9)
+    );
+    println!("{improved_total} origin-destination pairs improved overall");
+
+    // verify against a full re-solve with all new segments
+    let mut b = GraphBuilder::new(n);
+    for (x, y, w) in roads.edges() {
+        b.add_edge(x, y, w);
+    }
+    for &(u, v, w) in &updates {
+        b.add_edge(u, v, w);
+    }
+    let mut want = b.build().to_dense();
+    fw_blocked::<MinPlusF32>(&mut want, 64, DiagMethod::FwClosure, true);
+    assert_matrices_equal(&want, &dist, "incremental vs re-solve");
+    println!("incremental result matches a from-scratch re-solve bit-for-bit ✓");
+}
