@@ -30,13 +30,13 @@ fn main() {
         let mut rows = Vec::new();
         let mut r = 1;
         while r <= nodes {
-            if nodes % r == 0 {
+            if nodes.is_multiple_of(r) {
                 let (kr, kc) = (r, nodes / r);
                 // memory-unchecked: Fig. 3 is a pure communication sweep
                 let cfg = ScheduleConfig::new(n, Variant::Pipelined, kr, kc);
                 let out = simulate_unchecked(&spec, &cfg);
                 let gbs = out.effective_bw / 1e9;
-                if best.map_or(true, |(b, _, _)| gbs > b) {
+                if best.is_none_or(|(b, _, _)| gbs > b) {
                     best = Some((gbs, kr, kc));
                 }
                 rows.push((kr, kc, format!("{gbs:.2}"), String::new()));

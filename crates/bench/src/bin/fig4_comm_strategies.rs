@@ -7,7 +7,7 @@
 //! optimization adds effective bandwidth, up to ~4× over Baseline; past the
 //! boundary the execution is compute-dominated and the gap closes.
 
-use apsp_bench::{arg, paper_vertex_sweep, Csv, Table};
+use apsp_bench::{arg, paper_vertex_sweep, write_schedule_traces, Csv, Table};
 use apsp_core::dist::Variant;
 use apsp_core::schedule::{default_node_grid, optimal_node_grid, simulate, ScheduleConfig};
 use cluster_sim::MachineSpec;
@@ -62,4 +62,15 @@ fn main() {
     }
     println!("\npaper: ~4x effective-bandwidth gain from all optimizations in the bandwidth-bound regime;");
     println!("       the compute-bound boundary sits near 120k vertices on 64 nodes");
+
+    // --trace <prefix>: per-legend schedule traces at --trace-n vertices
+    write_schedule_traces(
+        &spec,
+        &[
+            ("baseline", Variant::Baseline, dkr, dkc),
+            ("pipelined", Variant::Pipelined, dkr, dkc),
+            ("reorder", Variant::Pipelined, okr, okc),
+            ("async", Variant::AsyncRing, okr, okc),
+        ],
+    );
 }

@@ -7,7 +7,7 @@
 //! "Beyond GPU Memory" wall after 524k; only Offload continues to 1.66M at
 //! roughly half the throughput of its in-core peak.
 
-use apsp_bench::{arg, paper_vertex_sweep, Csv, Table};
+use apsp_bench::{arg, paper_vertex_sweep, write_schedule_traces, Csv, Table};
 use apsp_core::dist::Variant;
 use apsp_core::schedule::{default_node_grid, optimal_node_grid, simulate, ScheduleConfig};
 use cluster_sim::MachineSpec;
@@ -49,4 +49,15 @@ fn main() {
     }
     println!("\npaper: in-memory variants stop after 524,288 (\"Beyond GPU Memory\");");
     println!("       Offload reaches 1,664,511 vertices at ~50% of theoretical throughput");
+
+    // --trace <prefix>: per-legend schedule traces at --trace-n vertices
+    write_schedule_traces(
+        &spec,
+        &[
+            ("baseline", Variant::Baseline, dkr, dkc),
+            ("pipelined", Variant::Pipelined, dkr, dkc),
+            ("async", Variant::AsyncRing, okr, okc),
+            ("offload", Variant::Offload, okr, okc),
+        ],
+    );
 }

@@ -98,6 +98,38 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// A `--flag value` string option with no default (`None` when absent).
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Shared `--trace <prefix>` handling for the figure binaries: write one
+/// Chrome trace_events JSON per legend entry at the `--trace-n` vertex count
+/// (default 65,536 — a bandwidth-bound sweep point), named
+/// `<prefix>_<legend>.json`.
+pub fn write_schedule_traces(
+    spec: &cluster_sim::MachineSpec,
+    legends: &[(&str, apsp_core::dist::Variant, usize, usize)],
+) {
+    let Some(prefix) = arg_str("--trace") else { return };
+    let tn: usize = arg("--trace-n", 65_536);
+    for &(legend, variant, kr, kc) in legends {
+        let cfg = apsp_core::schedule::ScheduleConfig::new(tn, variant, kr, kc);
+        match apsp_core::schedule::simulate_with_trace(spec, &cfg) {
+            Ok((_, json)) => {
+                let path = format!("{prefix}_{legend}.json");
+                std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("wrote {legend} schedule trace (n = {tn}) to {path}");
+            }
+            Err(e) => println!("trace {legend}: infeasible at n = {tn} ({e})"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

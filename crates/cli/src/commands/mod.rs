@@ -9,6 +9,18 @@ pub mod solve;
 use apsp_graph::graph::Graph;
 use apsp_graph::io;
 
+/// Parse a `--variant` name (shared by `simulate` and `solve --algo dist`).
+pub fn parse_variant(name: &str) -> Result<apsp_core::dist::Variant, String> {
+    use apsp_core::dist::Variant;
+    match name {
+        "baseline" => Ok(Variant::Baseline),
+        "pipelined" => Ok(Variant::Pipelined),
+        "async" => Ok(Variant::AsyncRing),
+        "offload" => Ok(Variant::Offload),
+        other => Err(format!("unknown variant '{other}' (baseline|pipelined|async|offload)")),
+    }
+}
+
 /// Load a graph from `path`, inferring format from the extension unless
 /// `format` overrides (`dimacs` | `edges`).
 pub fn load_graph(path: &str, format: Option<&str>) -> Result<Graph, String> {

@@ -1,7 +1,6 @@
 //! `apsp simulate` — predict a run on the calibrated Summit model.
 
-use apsp_core::dist::Variant;
-use apsp_core::schedule::{default_node_grid, optimal_node_grid, simulate, ScheduleConfig};
+use apsp_core::schedule::{default_node_grid, optimal_node_grid, simulate, simulate_with_trace, ScheduleConfig};
 use cluster_sim::MachineSpec;
 
 use crate::args::Args;
@@ -14,6 +13,8 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
   --variant <baseline|pipelined|async|offload>   (default async)
   --block <N>                                    (default 768)
   --reorder / --no-reorder                       node-grid placement
+  --trace <FILE>                                 write the simulated schedule
+                                                 as Chrome trace_events JSON
 Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
         );
         return Ok(());
@@ -21,13 +22,7 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
     let args = Args::parse(tokens)?;
     let nodes: usize = args.req("nodes")?;
     let n: usize = args.req("n")?;
-    let variant = match args.opt("variant", "async".to_string())?.as_str() {
-        "baseline" => Variant::Baseline,
-        "pipelined" => Variant::Pipelined,
-        "async" => Variant::AsyncRing,
-        "offload" => Variant::Offload,
-        other => return Err(format!("unknown variant '{other}'")),
-    };
+    let variant = super::parse_variant(&args.opt("variant", "async".to_string())?)?;
     let (kr, kc) = if args.has_flag("no-reorder") {
         default_node_grid(nodes)
     } else {
@@ -37,7 +32,13 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
     let mut cfg = ScheduleConfig::new(n, variant, kr, kc);
     cfg.block = args.opt("block", 768)?;
 
-    match simulate(&spec, &cfg) {
+    let (sim, trace_json) = if let Some(path) = args.opt_str("trace") {
+        let (out, json) = simulate_with_trace(&spec, &cfg).map_err(|e| format!("infeasible: {e}"))?;
+        (Ok(out), Some((path.to_string(), json)))
+    } else {
+        (simulate(&spec, &cfg), None)
+    };
+    match sim {
         Ok(out) => {
             println!("{} on {nodes} Summit nodes (K = {kr}x{kc}), n = {n}, b = {}:", variant.legend(), cfg.block);
             println!("  time                {:>12.2} s", out.seconds);
@@ -48,6 +49,10 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
             );
             println!("  effective bandwidth {:>12.2} GB/s/node", out.effective_bw / 1e9);
             println!("  GPU utilization     {:>12.1} %", 100.0 * out.gpu_utilization);
+            if let Some((path, json)) = trace_json {
+                std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote schedule trace to {path} (open in chrome://tracing or Perfetto)");
+            }
             Ok(())
         }
         Err(e) => Err(format!("infeasible: {e}")),
@@ -73,6 +78,18 @@ mod tests {
         assert!(err.contains("beyond GPU memory"));
         // …but offload gets through (the paper's 1.66M-vertex run)
         run(&toks("--nodes 64 --n 1664511 --variant offload")).unwrap();
+    }
+
+    #[test]
+    fn trace_flag_writes_schedule_json() {
+        let dir = std::env::temp_dir().join(format!("apsp-sim-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("sched.json");
+        run(&toks(&format!("--nodes 4 --n 50000 --variant pipelined --trace {}", out.display()))).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"PanelBcast\"") && json.contains("\"gpu0\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

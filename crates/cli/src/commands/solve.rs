@@ -18,26 +18,52 @@ use crate::args::Args;
 pub fn run(tokens: &[String]) -> Result<(), String> {
     if tokens.iter().any(|t| t == "--help") {
         println!(
-            "apsp solve --input <FILE> [--algo fw|blocked|dc|sparse|johnson]
-  --block <N>        block size for blocked/sparse (default 64)
+            "apsp solve --input <FILE> [--algo fw|blocked|dc|sparse|johnson|dist]
+  --block <N>        block size for blocked/sparse/dist (default 64)
   --serial           disable rayon parallelism (blocked/dc)
   --out <FILE>       write the distance matrix as TSV (careful: n² values)
-  --format <dimacs|edges>"
+  --format <dimacs|edges>
+  --trace <FILE>     write a per-rank Chrome trace_events JSON and print the
+                     per-phase summary (implies --algo dist; --input becomes
+                     optional — a built-in demo graph is traced without one)
+  --pr <N> --pc <N>  process grid for --algo dist (default 2x2)
+  --variant <baseline|pipelined|async|offload>   dist variant (default pipelined)"
         );
         return Ok(());
     }
     let args = Args::parse(tokens)?;
-    let input: String = args.req("input")?;
-    let algo: String = args.opt("algo", "blocked".to_string())?;
+    let trace_path = args.opt_str("trace");
+    let algo: String = args.opt(
+        "algo",
+        if trace_path.is_some() { "dist".to_string() } else { "blocked".to_string() },
+    )?;
+    if trace_path.is_some() && algo != "dist" {
+        return Err(format!("--trace records per-rank phases, which only --algo dist produces (got '{algo}')"));
+    }
     let block: usize = args.opt("block", 64)?;
     let parallel = !args.has_flag("serial");
 
-    let g = super::load_graph(&input, args.opt_str("format"))?;
+    let g = match args.opt_str("input") {
+        Some(input) => {
+            let g = super::load_graph(input, args.opt_str("format"))?;
+            println!("loaded {} vertices, {} edges from {input}", g.n(), g.m());
+            g
+        }
+        None if trace_path.is_some() => {
+            println!("no --input given; tracing a built-in 64-vertex random graph");
+            apsp_graph::generators::erdos_renyi(
+                64,
+                0.3,
+                apsp_graph::generators::WeightKind::small_ints(),
+                7,
+            )
+        }
+        None => return Err("missing required option --input".into()),
+    };
     let n = g.n();
     if n == 0 {
         return Err("graph is empty".into());
     }
-    println!("loaded {} vertices, {} edges from {input}", n, g.m());
 
     let t0 = Instant::now();
     let dist: Matrix<f32> = match algo.as_str() {
@@ -72,6 +98,22 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
             sp.to_dense()
         }
         "johnson" => johnson_apsp(&g).map_err(|e| format!("{e:?}"))?,
+        "dist" => {
+            let pr: usize = args.opt("pr", 2)?;
+            let pc: usize = args.opt("pc", 2)?;
+            let variant = super::parse_variant(&args.opt("variant", "pipelined".to_string())?)?;
+            let cfg = apsp_core::dist::FwConfig::new(block, variant);
+            println!("dist: {} on a {pr}x{pc} simulated grid, b = {block}", variant.legend());
+            let (d, traffic, trace) =
+                apsp_core::distributed_apsp_traced::<MinPlusF32>(pr, pc, &cfg, &g.to_dense(), None);
+            print!("{}", trace.phase_summary(&traffic));
+            if let Some(path) = trace_path {
+                std::fs::write(path, trace.to_chrome_json())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote per-rank trace to {path} (open in chrome://tracing or Perfetto)");
+            }
+            d
+        }
         other => return Err(format!("unknown algorithm '{other}'")),
     };
     let secs = t0.elapsed().as_secs_f64();
@@ -137,7 +179,7 @@ mod tests {
         let (dir, input) = fixture();
         // solve with each algorithm, dump TSVs, compare
         let mut outputs = Vec::new();
-        for algo in ["fw", "blocked", "dc", "sparse", "johnson"] {
+        for algo in ["fw", "blocked", "dc", "sparse", "johnson", "dist"] {
             let out = dir.join(format!("{algo}.tsv"));
             let cmd = format!(
                 "--input {} --algo {algo} --block 4 --out {}",
@@ -150,6 +192,46 @@ mod tests {
         for o in &outputs[1..] {
             assert_eq!(o, &outputs[0]);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flag_implies_dist_and_writes_chrome_json() {
+        let (dir, input) = fixture();
+        let out = dir.join("trace.json");
+        let cmd = format!("--input {} --block 4 --trace {}", input.display(), out.display());
+        run(&toks(&cmd)).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for phase in ["DiagUpdate", "DiagBcast", "PanelUpdate", "PanelBcast", "OuterUpdate"] {
+            assert!(json.contains(&format!("\"name\":\"{phase}\"")), "missing {phase}");
+        }
+        // all four ranks of the default 2x2 grid have a timeline
+        for tid in 0..4 {
+            assert!(json.contains(&format!("\"tid\":{tid}")), "missing rank {tid}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_without_input_uses_the_demo_graph() {
+        let dir = std::env::temp_dir().join(format!(
+            "apsp-solve-demo-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.json");
+        run(&toks(&format!("--trace {}", out.display()))).unwrap();
+        assert!(std::fs::read_to_string(&out).unwrap().contains("OuterUpdate"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_rejects_non_dist_algos() {
+        let (dir, input) = fixture();
+        let cmd = format!("--input {} --algo fw --trace x.json", input.display());
+        assert!(run(&toks(&cmd)).unwrap_err().contains("--algo dist"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,6 +26,6 @@ pub mod task;
 pub mod trace;
 
 pub use engine::{run, Schedule};
-pub use trace::gantt;
+pub use trace::{chrome_trace, gantt};
 pub use machine::{Cluster, MachineSpec};
 pub use task::{ResourceId, TaskGraph, TaskId};

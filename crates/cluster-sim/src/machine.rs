@@ -97,6 +97,31 @@ impl Cluster {
         self.gpu[node]
     }
 
+    /// Label every subsequently-created task with `name` (see
+    /// [`TaskGraph::set_phase`]). Schedule builders call this at each of the
+    /// paper's phase boundaries so trace exports carry phase attribution.
+    pub fn set_phase(&mut self, name: &'static str) {
+        self.dag.set_phase(name);
+    }
+
+    /// Human-readable name of every resource, indexed by
+    /// [`ResourceId::index`] — `gpu{i}`, `nic{i}`, `intra{i}`, `host{i}`
+    /// for each node `i`, matching the creation order in [`Cluster::new`].
+    pub fn resource_names(&self) -> Vec<String> {
+        let mut names = vec![String::new(); self.dag.num_resources() as usize];
+        for (kind, ids) in [
+            ("gpu", &self.gpu),
+            ("nic", &self.nic),
+            ("intra", &self.intra),
+            ("host", &self.host),
+        ] {
+            for (i, r) in ids.iter().enumerate() {
+                names[r.index()] = format!("{kind}{i}");
+            }
+        }
+        names
+    }
+
     /// NIC resource of `node`.
     pub fn nic_resource(&self, node: usize) -> ResourceId {
         self.nic[node]

@@ -23,6 +23,8 @@ pub(crate) struct Task {
     /// Lower runs first among simultaneously-ready tasks on one resource.
     pub priority: u32,
     pub deps: Vec<TaskId>,
+    /// Phase label stamped from [`TaskGraph::set_phase`] at creation.
+    pub label: Option<&'static str>,
 }
 
 /// A static DAG of tasks bound to resources.
@@ -34,6 +36,8 @@ pub(crate) struct Task {
 pub struct TaskGraph {
     pub(crate) tasks: Vec<Task>,
     pub(crate) num_resources: u32,
+    /// Ambient label applied to tasks created from now on (trace export).
+    current_phase: Option<&'static str>,
 }
 
 impl TaskGraph {
@@ -68,8 +72,21 @@ impl TaskGraph {
             duration,
             priority,
             deps: deps.to_vec(),
+            label: self.current_phase,
         });
         id
+    }
+
+    /// Label every subsequently-created task with `name` — the phase
+    /// attribution that [`crate::trace::chrome_trace`] exports. Builders
+    /// call this at each phase boundary (DiagUpdate, PanelBcast, …).
+    pub fn set_phase(&mut self, name: &'static str) {
+        self.current_phase = Some(name);
+    }
+
+    /// The phase label of `t` (`"task"` when none was set).
+    pub fn label_of(&self, t: TaskId) -> &'static str {
+        self.tasks[t.0 as usize].label.unwrap_or("task")
     }
 
     /// Number of tasks.

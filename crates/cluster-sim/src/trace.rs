@@ -1,9 +1,10 @@
 //! ASCII Gantt rendering of a finished [`crate::engine::Schedule`] — the
 //! debugging view used when tuning the variant schedules (which task
-//! blocked which resource, where the pipeline bubbles are).
+//! blocked which resource, where the pipeline bubbles are) — plus the
+//! Chrome trace_events export sharing `mpi-sim`'s schema.
 
 use crate::engine::Schedule;
-use crate::task::TaskGraph;
+use crate::task::{TaskGraph, TaskId};
 
 /// Render up to `max_resources` resource timelines as `width`-column ASCII
 /// bars. Each `#` is busy time, `.` idle; the header shows the makespan.
@@ -51,6 +52,69 @@ impl TaskGraph {
     }
 }
 
+/// Export a finished schedule as Chrome trace_events JSON — the same schema
+/// `mpi_sim::RunTrace::to_chrome_json` emits, so simulated schedules and
+/// real (mpi-sim) runs open side by side in `chrome://tracing` / Perfetto.
+///
+/// Each resource becomes one timeline (`tid` = [`crate::task::ResourceId::index`],
+/// named from `names` when provided, `r{i}` otherwise); each task becomes a
+/// complete `"X"` event named by its phase label. Schedule times are seconds;
+/// the export converts to the trace format's microseconds.
+pub fn chrome_trace(graph: &TaskGraph, sched: &Schedule, names: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&ev);
+    };
+    for r in 0..graph.num_resources() as usize {
+        let name = names
+            .get(r)
+            .filter(|n| !n.is_empty())
+            .cloned()
+            .unwrap_or_else(|| format!("r{r}"));
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{r},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(&name)
+            ),
+        );
+    }
+    for (i, t) in graph.tasks.iter().enumerate() {
+        let label = graph.label_of(TaskId(i as u32));
+        let ts = sched.start[i] * 1e6;
+        let dur = (sched.finish[i] - sched.start[i]) * 1e6;
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{ts:.3},\"dur\":{dur:.3}}}",
+                escape_json(label),
+                t.resource.index()
+            ),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +135,28 @@ mod tests {
         // r1 is ~50% busy, r0 ~50% too (each one of two seconds)
         assert!(txt.matches('#').count() >= 20);
         assert!(txt.contains('.'));
+    }
+
+    #[test]
+    fn chrome_trace_labels_tasks_and_resources() {
+        let mut g = TaskGraph::new();
+        let r1 = g.resource();
+        let r2 = g.resource();
+        g.set_phase("DiagUpdate");
+        let a = g.task(r1, 1.0, 0, &[]);
+        g.set_phase("PanelBcast");
+        g.task(r2, 0.5, 0, &[a]);
+        let s = run(&g);
+        let json = chrome_trace(&g, &s, &["gpu0".into()]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"DiagUpdate\""));
+        assert!(json.contains("\"PanelBcast\""));
+        assert!(json.contains("\"gpu0\"")); // named resource
+        assert!(json.contains("\"r1\"")); // fallback name
+        // second task starts after the first: ts = 1.0 s = 1e6 µs
+        assert!(json.contains("\"ts\":1000000.000"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use cluster_sim::{run, TaskGraph};
 
 /// A random DAG spec: per task (resource index, duration, priority, dep mask
 /// over earlier tasks).
+#[allow(clippy::type_complexity)]
 fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, f64, u32, Vec<bool>)>)> {
     (1usize..5, 1usize..40).prop_flat_map(|(nres, ntasks)| {
         let tasks = proptest::collection::vec(

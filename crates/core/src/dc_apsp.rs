@@ -134,7 +134,7 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                if i != j && state % 4 == 0 {
+                if i != j && state.is_multiple_of(4) {
                     m[(i, j)] = ((state >> 33) % 40) as f32;
                 }
             }

@@ -22,6 +22,7 @@ pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &F
     for k in 0..a.nb {
         let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.panel_bcast());
         // OuterUpdate(k): whole local matrix
+        let _p = grid.grid.phase("OuterUpdate");
         gemm_blocked::<S>(
             &mut a.local.view_mut(),
             &panels.col_panel.view(),

@@ -53,8 +53,8 @@ pub fn decrease_edge_dist<S: Semiring>(
 
     // --- local rank-1 relaxation ---
     let mut improved = 0usize;
-    for i in 0..a.local.rows() {
-        let through = S::mul(col_u[i], w);
+    for (i, &cu) in col_u.iter().enumerate() {
+        let through = S::mul(cu, w);
         let row = a.local.row_mut(i);
         for (j, rv_j) in row_v.iter().enumerate() {
             let cand = S::mul(through, *rv_j);

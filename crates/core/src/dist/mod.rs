@@ -25,7 +25,7 @@ pub mod pipelined;
 pub use layout::DistMatrix;
 
 use gpu_sim::{GpuSpec, OogConfig};
-use mpi_sim::{Comm, Placement, ProcessGrid, Runtime, TrafficReport};
+use mpi_sim::{Comm, Placement, ProcessGrid, RunTrace, Runtime, TrafficReport};
 use srgemm::matrix::Matrix;
 use srgemm::semiring::Semiring;
 
@@ -159,12 +159,19 @@ pub(crate) fn diag_and_panels<S: Semiring>(
     let kr = k % a.pr;
     let kc = k % a.pc;
 
+    // Phase guards open unconditionally on every rank (even ranks with no
+    // work in the phase), so every rank's timeline shows the full five-phase
+    // iteration structure and idle time is visible as near-zero spans.
+
     // DiagUpdate at the owner
-    if a.owns_row(k) && a.owns_col(k) {
-        let mut d = a.diag_block_mut(k);
-        match diag_method {
-            DiagMethod::FwClosure => fw_closure::<S>(&mut d),
-            DiagMethod::Squaring => fw_closure_squaring::<S>(&mut d, false),
+    {
+        let _p = grid.grid.phase("DiagUpdate");
+        if a.owns_row(k) && a.owns_col(k) {
+            let mut d = a.diag_block_mut(k);
+            match diag_method {
+                DiagMethod::FwClosure => fw_closure::<S>(&mut d),
+                DiagMethod::Squaring => fw_closure_squaring::<S>(&mut d, false),
+            }
         }
     }
 
@@ -172,28 +179,35 @@ pub(crate) fn diag_and_panels<S: Semiring>(
     // critical — the paper keeps the library broadcast here even in +Async)
     let mut diag_row: Option<Matrix<S::Elem>> = None;
     let mut diag_col: Option<Matrix<S::Elem>> = None;
-    if a.owns_row(k) {
-        let mine = a.owns_col(k).then(|| a.diag_block(k));
-        diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcast::Tree));
-    }
-    if a.owns_col(k) {
-        let mine = a.owns_row(k).then(|| a.diag_block(k));
-        diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcast::Tree));
+    {
+        let _p = grid.grid.phase("DiagBcast");
+        if a.owns_row(k) {
+            let mine = a.owns_col(k).then(|| a.diag_block(k));
+            diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcast::Tree));
+        }
+        if a.owns_col(k) {
+            let mine = a.owns_row(k).then(|| a.diag_block(k));
+            diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcast::Tree));
+        }
     }
 
     // PanelUpdate on the owning strips (includes the diagonal block itself,
     // where D ⊕ D⊗D = D is a no-op)
-    if let Some(d) = &diag_row {
-        let mut strip = a.row_strip_mut(k);
-        panel_update_left::<S>(&mut strip, &d.view());
-    }
-    if let Some(d) = &diag_col {
-        let mut strip = a.col_strip_mut(k);
-        panel_update_right::<S>(&mut strip, &d.view());
+    {
+        let _p = grid.grid.phase("PanelUpdate");
+        if let Some(d) = &diag_row {
+            let mut strip = a.row_strip_mut(k);
+            panel_update_left::<S>(&mut strip, &d.view());
+        }
+        if let Some(d) = &diag_col {
+            let mut strip = a.col_strip_mut(k);
+            panel_update_right::<S>(&mut strip, &d.view());
+        }
     }
 
     // PanelBcast: row panel down each process column, column panel across
     // each process row
+    let _p = grid.grid.phase("PanelBcast");
     let lcols = a.local.cols();
     let lrows = a.local.rows();
     let row_panel = bcast_matrix::<S>(
@@ -262,4 +276,31 @@ pub fn distributed_apsp<S: Semiring>(
         .next()
         .expect("grid rank 0 gathers the result");
     (gathered, traffic)
+}
+
+/// Like [`distributed_apsp`] but additionally records the per-rank,
+/// per-phase [`RunTrace`] (Chrome-exportable; see
+/// [`mpi_sim::Runtime::run_with_trace`]). The five paper phase names appear
+/// on every rank's timeline, one set per iteration.
+pub fn distributed_apsp_traced<S: Semiring>(
+    pr: usize,
+    pc: usize,
+    cfg: &FwConfig,
+    global: &Matrix<S::Elem>,
+    placement: Option<Placement>,
+) -> (Matrix<S::Elem>, TrafficReport, RunTrace) {
+    let mut rt = Runtime::new(pr * pc);
+    if let Some(p) = placement {
+        rt = rt.with_placement(p);
+    }
+    let cfg = *cfg;
+    let (results, traffic, trace) = rt.run_with_trace(move |comm| {
+        distributed_apsp_on::<S>(comm, pr, pc, &cfg, global)
+    });
+    let gathered = results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("grid rank 0 gathers the result");
+    (gathered, traffic, trace)
 }

@@ -32,6 +32,7 @@ pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &F
 
     for k in 0..a.nb {
         let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.panel_bcast());
+        let _p = grid.grid.phase("OuterUpdate");
         if a.local.rows() == 0 || a.local.cols() == 0 {
             continue;
         }

@@ -43,13 +43,15 @@ pub fn oned_apsp<S: Semiring>(comm: &Comm, global: &Matrix<S::Elem>) -> Option<M
 
     for k in 0..n {
         // owner broadcasts the pivot row (post-update — row k is fixed
-        // point for iteration k since d[k][k] = 1̄)
+        // point for iteration k since d[k][k] = 1̄); the pivot broadcast is
+        // this formulation's PanelBcast, the rank-1 relax its OuterUpdate
         let owner = k % p;
-        let pivot: Vec<S::Elem> = comm.bcast(
-            owner,
-            (owner == me).then(|| local[k / p].clone()),
-        );
+        let pivot: Vec<S::Elem> = {
+            let _p = comm.phase("PanelBcast");
+            comm.bcast(owner, (owner == me).then(|| local[k / p].clone()))
+        };
         // relax every local row
+        let _p = comm.phase("OuterUpdate");
         for (li, &i) in my_rows.iter().enumerate() {
             let d_ik = local[li][k];
             let row = &mut local[li];

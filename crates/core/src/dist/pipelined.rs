@@ -36,7 +36,10 @@ pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &F
     for k in 0..a.nb {
         let next = if k + 1 < a.nb {
             // ---- look-ahead: apply OuterUpdate(k) to the (k+1)-th strips only ----
-            lookahead_update::<S>(a, k + 1, &panels);
+            {
+                let _p = grid.grid.phase("OuterUpdate");
+                lookahead_update::<S>(a, k + 1, &panels);
+            }
             // ---- then the full (k+1) diag/panel phase, overlapping the big
             //      OuterUpdate(k) in the schedule model ----
             Some(diag_and_panels::<S>(grid, a, k + 1, cfg.diag, cfg.panel_bcast()))
@@ -47,6 +50,7 @@ pub fn run<S: Semiring>(grid: &ProcessGrid, a: &mut DistMatrix<S::Elem>, cfg: &F
         // ---- OuterUpdate(k) over the whole local matrix ----
         // (the k+1 strips were already relaxed with these same panels, and
         // min-plus relaxation is monotone, so re-touching them is a no-op)
+        let _p = grid.grid.phase("OuterUpdate");
         gemm_blocked::<S>(
             &mut a.local.view_mut(),
             &panels.col_panel.view(),

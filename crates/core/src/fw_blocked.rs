@@ -155,7 +155,7 @@ mod tests {
         for i in 0..20 {
             for j in 0..20 {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                if i != j && state % 3 == 0 {
+                if i != j && state.is_multiple_of(3) {
                     m[(i, j)] = ((state >> 33) % 50) as f32;
                 }
             }

@@ -54,14 +54,14 @@ pub fn decrease_edge<S: Semiring>(
     let row_v: Vec<S::Elem> = (0..n).map(|j| d[(v, j)]).collect();
 
     let mut improved = 0usize;
-    for i in 0..n {
-        let through = S::mul(col_u[i], w);
+    for (i, &cu) in col_u.iter().enumerate() {
+        let through = S::mul(cu, w);
         let drow = d.row_mut(i);
-        for j in 0..n {
-            let cand = S::mul(through, row_v[j]);
-            let new = S::add(drow[j], cand);
-            if new != drow[j] {
-                drow[j] = new;
+        for (dj, &rv) in drow.iter_mut().zip(&row_v) {
+            let cand = S::mul(through, rv);
+            let new = S::add(*dj, cand);
+            if new != *dj {
+                *dj = new;
                 improved += 1;
             }
         }

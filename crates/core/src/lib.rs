@@ -51,6 +51,6 @@ pub mod paths_dist;
 pub mod schedule;
 pub mod verify;
 
-pub use dist::{distributed_apsp, FwConfig, Variant};
+pub use dist::{distributed_apsp, distributed_apsp_traced, FwConfig, Variant};
 pub use fw_blocked::{fw_blocked, DiagMethod};
 pub use fw_seq::{fw_seq, fw_seq_with_paths};

@@ -56,7 +56,7 @@ pub fn best_node_grid(nodes: usize) -> (usize, usize) {
     let mut best = (1, nodes);
     let mut r = 1;
     while r * r <= nodes {
-        if nodes % r == 0 {
+        if nodes.is_multiple_of(r) {
             best = (r, nodes / r);
         }
         r += 1;

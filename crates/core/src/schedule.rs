@@ -14,7 +14,7 @@
 //! rank→node placement enters through the node-grid shape `K_r × K_c`,
 //! exactly the quantity §3.4.1 shows the NIC volume depends on.
 
-use cluster_sim::{Cluster, MachineSpec, TaskId};
+use cluster_sim::{chrome_trace, Cluster, MachineSpec, Schedule, TaskId};
 
 use crate::dist::Variant;
 use crate::model;
@@ -107,7 +107,7 @@ pub fn default_node_grid(nodes: usize) -> (usize, usize) {
     let mut best_err = f64::INFINITY;
     let mut r = 1;
     while r <= nodes {
-        if nodes % r == 0 {
+        if nodes.is_multiple_of(r) {
             let c = nodes / r;
             if r >= c {
                 let err = ((r as f64 / c as f64).ln() - 8.0f64.ln()).abs();
@@ -135,6 +135,23 @@ pub fn simulate(spec: &MachineSpec, cfg: &ScheduleConfig) -> Result<SimOutcome, 
 /// configurations whose capacity accounting is orthogonal to the question
 /// being asked.
 pub fn simulate_unchecked(spec: &MachineSpec, cfg: &ScheduleConfig) -> SimOutcome {
+    run_sim(spec, cfg).0
+}
+
+/// [`simulate`], additionally exporting the finished schedule as Chrome
+/// trace_events JSON (the same schema `mpi_sim::RunTrace::to_chrome_json`
+/// emits): one timeline per node resource (`gpu{i}`, `nic{i}`, …), each
+/// task named by its phase (DiagUpdate … OuterUpdate, Sync barriers).
+pub fn simulate_with_trace(spec: &MachineSpec, cfg: &ScheduleConfig) -> Result<(SimOutcome, String), Infeasible> {
+    check_memory(spec, cfg)?;
+    let (outcome, cl, sched) = run_sim(spec, cfg);
+    let json = chrome_trace(&cl.dag, &sched, &cl.resource_names());
+    Ok((outcome, json))
+}
+
+/// Build the DAG for `cfg`, run it, and summarize — keeping the cluster and
+/// schedule alive for trace export.
+fn run_sim(spec: &MachineSpec, cfg: &ScheduleConfig) -> (SimOutcome, Cluster, Schedule) {
     let nodes = cfg.kr * cfg.kc;
     assert_eq!(nodes, spec.nodes, "node grid must cover the machine");
 
@@ -148,13 +165,14 @@ pub fn simulate_unchecked(spec: &MachineSpec, cfg: &ScheduleConfig) -> SimOutcom
         .map(|nd| sched.busy[cl.gpu_resource(nd).index()] / seconds.max(1e-30))
         .sum::<f64>()
         / nodes as f64;
-    SimOutcome {
+    let outcome = SimOutcome {
         seconds,
         flops,
         pflops: flops / seconds / 1e15,
         effective_bw: model::effective_bandwidth(cfg.n, nodes, cfg.elem_bytes, seconds),
         gpu_utilization: gpu_util,
-    }
+    };
+    (outcome, cl, sched)
 }
 
 /// Simulate the 1-D row-partitioned comparator
@@ -174,14 +192,17 @@ pub fn simulate_oned(spec: &MachineSpec, n: usize, elem_bytes: usize) -> SimOutc
     let rows_per_node = n as f64 / nodes as f64;
     for k in 0..n {
         let owner = k % nodes;
+        cl.set_phase("PanelBcast");
         let arr = tree_bcast(&mut cl, &members, owner, n as f64 * eb, PRI_PANEL, &barrier);
+        cl.set_phase("OuterUpdate");
         let mut updates = Vec::with_capacity(nodes);
-        for nd in 0..nodes {
+        for (nd, &arrived) in arr.iter().enumerate() {
             // rank-1 relaxation: 3 touches per element at DRAM bandwidth;
             // expressed as a host-memory task
             let bytes = 3.0 * rows_per_node * n as f64 * eb;
-            updates.push(cl.host_task(nd, bytes, PRI_OUTER, &[arr[nd]]));
+            updates.push(cl.host_task(nd, bytes, PRI_OUTER, &[arrived]));
         }
+        cl.set_phase("Sync");
         let b = cl.send_task(0, 0, 0.0, PRI_PANEL, &updates);
         barrier = vec![b];
     }
@@ -279,13 +300,13 @@ fn ring_bcast(cl: &mut Cluster, members: &[usize], root_idx: usize, bytes: f64, 
     let mut last_chunk_arrival: Vec<TaskId> = vec![marker; k];
     for _c in 0..chunks {
         let mut prev = marker;
-        for i in 1..k {
+        for (i, slot) in last_chunk_arrival.iter_mut().enumerate().skip(1) {
             // chunk c leaves rel(i-1) once it has arrived there; the NIC
             // resource serializes chunks naturally
             let dep_task = if i == 1 { marker } else { prev };
             let t = cl.send_task(rel(i - 1), rel(i), chunk_bytes, pri, &[dep_task]);
             prev = t;
-            last_chunk_arrival[i] = t;
+            *slot = t;
         }
     }
     for i in 0..k {
@@ -304,6 +325,7 @@ fn panel_bcasts(
     row_panel_ready: &[TaskId],
     col_panel_ready: &[TaskId],
 ) -> (Vec<TaskId>, Vec<TaskId>) {
+    cl.set_phase("PanelBcast");
     let nodes = cfg.kr * cfg.kc;
     let eb = cfg.elem_bytes as f64;
     let krow = k % cfg.kr;
@@ -365,10 +387,12 @@ fn diag_and_panel_phase(
     let diag_node = node_at(cfg, krow, kcol);
 
     // DiagUpdate (§4.2: on the GPU either way; squaring costs log₂b GEMMs)
+    cl.set_phase("DiagUpdate");
     let diag_flops = 2.0 * b * b * b * (b.log2().ceil().max(1.0));
     let t_diag = cl.gpu_task(diag_node, diag_flops, pri, diag_dep);
 
     // DiagBcast: tree along the k-th node row and node column
+    cl.set_phase("DiagBcast");
     let row_members: Vec<usize> = (0..cfg.kc).map(|c| node_at(cfg, krow, c)).collect();
     let col_members: Vec<usize> = (0..cfg.kr).map(|r| node_at(cfg, r, kcol)).collect();
     let diag_bytes = b * b * eb;
@@ -376,6 +400,7 @@ fn diag_and_panel_phase(
     let diag_to_col = tree_bcast(cl, &col_members, krow, diag_bytes, pri, &[t_diag]);
 
     // PanelUpdate on the owning node row/column
+    cl.set_phase("PanelUpdate");
     let row_panel_flops = 2.0 * b * b * (cfg.n as f64 / cfg.kc as f64);
     let col_panel_flops = 2.0 * b * b * (cfg.n as f64 / cfg.kr as f64);
     let mut row_ready = Vec::with_capacity(cfg.kc);
@@ -399,6 +424,7 @@ fn diag_and_panel_phase(
 /// at the GPU pool rate; the offload variant is bounded by
 /// `max(t0, t1, t2)` of §4.5 (or worse with fewer streams).
 fn outer_task(cl: &mut Cluster, cfg: &ScheduleConfig, node: usize, deps: &[TaskId]) -> TaskId {
+    cl.set_phase("OuterUpdate");
     let m_loc = cfg.n as f64 / cfg.kr as f64;
     let n_loc = cfg.n as f64 / cfg.kc as f64;
     let b = cfg.block as f64;
@@ -447,6 +473,7 @@ fn build_dag(cl: &mut Cluster, cfg: &ScheduleConfig) {
                 outers.push(outer_task(cl, cfg, nd, &deps));
             }
             // synthetic barrier: a zero-duration intra task on node 0
+            cl.set_phase("Sync");
             let b = cl.send_task(0, 0, 0.0, PRI_PANEL, &outers);
             barrier = vec![b];
         }
@@ -470,6 +497,7 @@ fn build_dag(cl: &mut Cluster, cfg: &ScheduleConfig) {
                 let ncol = (k + 1) % cfg.kc;
                 let la_row_flops = 2.0 * b * b * (cfg.n as f64 / cfg.kc as f64);
                 let la_col_flops = 2.0 * b * b * (cfg.n as f64 / cfg.kr as f64);
+                cl.set_phase("OuterUpdate"); // look-ahead = OuterUpdate(k) on the k+1 strips
                 let mut la_row: Vec<Vec<TaskId>> = Vec::with_capacity(cfg.kc);
                 for c in 0..cfg.kc {
                     let node = node_at(cfg, nrow, c);
@@ -500,5 +528,35 @@ fn build_dag(cl: &mut Cluster, cfg: &ScheduleConfig) {
                 col_arr = ca;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_export_carries_all_phase_names() {
+        let spec = MachineSpec::summit(4);
+        for variant in Variant::all() {
+            let cfg = ScheduleConfig::new(40_000, variant, 2, 2);
+            let (outcome, json) = simulate_with_trace(&spec, &cfg).expect("feasible");
+            assert!(outcome.seconds > 0.0);
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            for phase in ["DiagUpdate", "DiagBcast", "PanelUpdate", "PanelBcast", "OuterUpdate"] {
+                assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{variant:?} missing {phase}");
+            }
+            assert!(json.contains("\"gpu0\"") && json.contains("\"nic3\""), "resource names");
+        }
+    }
+
+    #[test]
+    fn trace_outcome_matches_untraced_simulation() {
+        let spec = MachineSpec::summit(4);
+        let cfg = ScheduleConfig::new(40_000, Variant::Pipelined, 2, 2);
+        let (traced, _) = simulate_with_trace(&spec, &cfg).expect("feasible");
+        let plain = simulate(&spec, &cfg).expect("feasible");
+        assert_eq!(traced.seconds, plain.seconds);
+        assert_eq!(traced.pflops, plain.pflops);
     }
 }

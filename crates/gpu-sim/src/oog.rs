@@ -61,6 +61,9 @@ impl OogStats {
 /// Returns [`Oom`] if `A`, `B` and the `s` tile buffers do not fit on the
 /// device together (the caller — `Me-ParallelFw` — picks `m_x`, `n_x`
 /// accordingly).
+// Slab/tile loops below walk `0..mb × 0..nb` with explicit tile-origin
+// arithmetic; iterator forms would hide the `i0 = i*mx` windows.
+#[allow(clippy::needless_range_loop)]
 pub fn oog_srgemm<S: Semiring>(
     gpu: &SimGpu,
     cfg: &OogConfig,
@@ -79,8 +82,10 @@ pub fn oog_srgemm<S: Semiring>(
     let s = cfg.streams;
 
     // Device residency: row slabs of A, column slabs of B, s tile buffers.
-    let mut a_slabs: Vec<Option<(DeviceBuffer<S::Elem>, Event, usize)>> = (0..mb).map(|_| None).collect();
-    let mut b_slabs: Vec<Option<(DeviceBuffer<S::Elem>, Event, usize)>> = (0..nb).map(|_| None).collect();
+    // A resident slab: its device buffer, upload-done event, element count.
+    type Slab<E> = Option<(DeviceBuffer<E>, Event, usize)>;
+    let mut a_slabs: Vec<Slab<S::Elem>> = (0..mb).map(|_| None).collect();
+    let mut b_slabs: Vec<Slab<S::Elem>> = (0..nb).map(|_| None).collect();
     let mut x_bufs = Vec::with_capacity(s);
     for _ in 0..s {
         x_bufs.push(gpu.alloc::<S::Elem>(cfg.mx * cfg.nx, S::zero())?);
@@ -152,6 +157,7 @@ pub fn oog_srgemm<S: Semiring>(
 /// Timing-only replay of the [`oog_srgemm`] schedule for an `m×n×k` product
 /// of `elem_bytes`-element data: identical clock arithmetic, no data. Used
 /// by the Fig. 5/6 harnesses at Summit scale.
+#[allow(clippy::needless_range_loop)]
 pub fn oog_srgemm_model(
     gpu: &SimGpu,
     cfg: &OogConfig,

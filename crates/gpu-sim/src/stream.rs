@@ -90,6 +90,7 @@ impl Stream {
     /// Launch `X ← A ⊗ B` (`init = true`: X is first filled with 0̄) or
     /// `X ← X ⊕ A ⊗ B` (`init = false`) on the SRGEMM engine. Buffers hold
     /// row-major `m×k`, `k×n`, `m×n` data.
+    #[allow(clippy::too_many_arguments)]
     pub fn srgemm<S: Semiring>(
         &mut self,
         x: &DeviceBuffer<S::Elem>,

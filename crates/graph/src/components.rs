@@ -57,13 +57,13 @@ pub fn weak_components(g: &Graph) -> (Vec<usize>, usize) {
     let mut ids = vec![usize::MAX; n];
     let mut next = 0usize;
     let mut comp = vec![0usize; n];
-    for v in 0..n {
+    for (v, c) in comp.iter_mut().enumerate() {
         let root = uf.find(v as u32) as usize;
         if ids[root] == usize::MAX {
             ids[root] = next;
             next += 1;
         }
-        comp[v] = ids[root];
+        *c = ids[root];
     }
     (comp, next)
 }

@@ -137,8 +137,8 @@ mod tests {
     fn ring_distances_modular() {
         let g = generators::unit_ring(6);
         let d = dijkstra(&g, 2);
-        for j in 0..6 {
-            assert_eq!(d[j], ((j + 6 - 2) % 6) as f32);
+        for (j, &dj) in d.iter().enumerate() {
+            assert_eq!(dj, ((j + 6 - 2) % 6) as f32);
         }
     }
 

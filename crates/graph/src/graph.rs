@@ -137,7 +137,7 @@ impl GraphBuilder {
 
     /// Finalize into CSR. Duplicate `(u, v)` pairs keep the minimum weight.
     pub fn build(mut self) -> Graph {
-        self.edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
         self.edges.dedup_by(|next, kept| {
             if next.0 == kept.0 && next.1 == kept.1 {
                 if next.2 < kept.2 {

@@ -106,10 +106,10 @@ mod tests {
     fn random_graph_paths_realize_reported_distances() {
         let g = generators::erdos_renyi(30, 0.2, WeightKind::small_ints(), 17);
         let (d, parent) = dijkstra_with_parents(&g, 3);
-        for t in 0..30 {
-            if d[t] < INF {
+        for (t, &dt) in d.iter().enumerate() {
+            if dt < INF {
                 let p = extract_path(&parent, 3, t).unwrap();
-                assert!(validate_path(&g, &p, 3, t, d[t], 1e-4));
+                assert!(validate_path(&g, &p, 3, t, dt, 1e-4));
             }
         }
     }

@@ -146,9 +146,9 @@ impl Comm {
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_raw(src, tag));
+                    *slot = Some(self.recv_raw(src, tag));
                 }
             }
             Some(out.into_iter().map(|v| v.expect("gathered")).collect())
@@ -159,12 +159,13 @@ impl Comm {
     }
 
     /// Every rank contributes one value; every rank gets the full rank-ordered
-    /// vector. Implemented as one broadcast per contributor, which keeps the
-    /// payload bound at `T: Payload` (no `Vec<T>` wire format needed).
-    pub fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
-        (0..self.size())
-            .map(|root| self.bcast(root, (self.rank() == root).then(|| value.clone())))
-            .collect()
+    /// vector. Implemented as a gather to rank 0 followed by one binomial
+    /// broadcast of the assembled vector: `2(p-1)` messages total, vs the
+    /// `p` separate broadcasts (`p(p-1)` messages) of the naive formulation.
+    /// The `Copy` bound is what gives `Vec<T>` its wire format.
+    pub fn allgather<T: Payload + Copy>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered)
     }
 
     /// Fold all ranks' values with `op` (applied in rank order) and return
@@ -272,6 +273,25 @@ mod tests {
     }
 
     #[test]
+    fn allgather_uses_linear_message_count() {
+        // gather-then-bcast regression pin: (p-1) gather sends plus (p-1)
+        // binomial-broadcast sends = 2(p-1) messages, NOT the p(p-1) of a
+        // broadcast-per-contributor formulation.
+        for p in [2usize, 4, 7, 8] {
+            let rt = Runtime::new(p);
+            let (out, report) = rt.run_traced(move |comm| comm.allgather(comm.rank() as u64));
+            for v in out {
+                assert_eq!(v, (0..p as u64).collect::<Vec<_>>());
+            }
+            assert_eq!(
+                report.total_msgs,
+                2 * (p as u64 - 1),
+                "allgather on {p} ranks must move exactly 2(p-1) messages"
+            );
+        }
+    }
+
+    #[test]
     fn allreduce_min_and_sum() {
         let out = Runtime::new(5).run(|comm| {
             let r = comm.rank() as f64;
@@ -289,10 +309,10 @@ mod tests {
     fn collectives_work_on_split_subcommunicators() {
         let out = Runtime::new(6).run(|comm| {
             let row = comm.split((comm.rank() / 3) as u64, (comm.rank() % 3) as u64);
-            let v = row.allreduce(comm.rank() as u64, |a, b| a + b);
-            v
+            
+            row.allreduce(comm.rank() as u64, |a, b| a + b)
         });
-        assert_eq!(out[0], 0 + 1 + 2);
+        assert_eq!(out[0], 1 + 2);
         assert_eq!(out[5], 3 + 4 + 5);
     }
 

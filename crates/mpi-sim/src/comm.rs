@@ -11,6 +11,7 @@ use crate::counters::Counters;
 use crate::p2p::Mailbox;
 use crate::payload::Payload;
 use crate::placement::Placement;
+use crate::trace::{self, MsgEvent, Span, TraceState};
 
 /// Tags with the top bit set are reserved for collectives.
 pub(crate) const INTERNAL_TAG: u64 = 1 << 63;
@@ -21,6 +22,7 @@ pub(crate) struct Shared {
     pub(crate) counters: Counters,
     pub(crate) placement: Placement,
     pub(crate) recv_timeout: Duration,
+    pub(crate) trace: Option<Arc<TraceState>>,
     splits: Mutex<HashMap<(u64, u64), SplitSlot>>,
     splits_cv: Condvar,
     ctx_alloc: Mutex<CtxAlloc>,
@@ -39,13 +41,19 @@ struct SplitSlot {
 }
 
 impl Shared {
-    pub(crate) fn new(p: usize, placement: Placement, recv_timeout: Duration) -> Self {
+    pub(crate) fn new(
+        p: usize,
+        placement: Placement,
+        recv_timeout: Duration,
+        trace: Option<Arc<TraceState>>,
+    ) -> Self {
         assert_eq!(placement.num_ranks(), p, "placement covers a different rank count");
         Shared {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             counters: Counters::new(placement.num_nodes()),
             placement,
             recv_timeout,
+            trace,
             splits: Mutex::new(HashMap::new()),
             splits_cv: Condvar::new(),
             ctx_alloc: Mutex::new(CtxAlloc { next: 1, by_origin: HashMap::new() }),
@@ -134,9 +142,17 @@ impl Comm {
         let src_world = self.members[self.rank];
         let dst_world = self.members[dst];
         let bytes = msg.size_bytes();
-        self.shared
+        let phase = trace::current_phase();
+        let nic = self
+            .shared
             .counters
-            .record(&self.shared.placement, src_world, dst_world, bytes);
+            .record(&self.shared.placement, src_world, dst_world, bytes, phase);
+        if let Some(tr) = &self.shared.trace {
+            tr.record_msg(
+                src_world,
+                MsgEvent { ts_us: tr.now_us(), dst_world, bytes, nic, phase },
+            );
+        }
         self.shared.mailboxes[dst_world].deliver((self.ctx, self.rank, tag), bytes, Box::new(msg));
     }
 
@@ -148,9 +164,40 @@ impl Comm {
 
     pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
         let my_world = self.members[self.rank];
-        self.shared.mailboxes[my_world]
-            .recv::<T>((self.ctx, src, tag), self.shared.recv_timeout)
-            .0
+        match self.shared.mailboxes[my_world].recv::<T>((self.ctx, src, tag), self.shared.recv_timeout) {
+            Ok((value, _)) => value,
+            Err(timeout) => panic!(
+                "recv timed out after {:?}: rank {} (world {}) blocked waiting for a message \
+                 from rank {} (world {}) on ctx={} tag={} during phase {}; mailbox holds {} \
+                 unrelated message(s): {:?} — distributed deadlock?",
+                self.shared.recv_timeout,
+                self.rank,
+                my_world,
+                src,
+                self.members.get(src).copied().unwrap_or(usize::MAX),
+                self.ctx,
+                tag & !INTERNAL_TAG,
+                trace::current_phase().unwrap_or("(none)"),
+                timeout.pending.len(),
+                timeout.pending,
+            ),
+        }
+    }
+
+    /// Open a named trace phase on this rank; the returned guard closes it.
+    ///
+    /// While the guard lives, every byte this rank sends is attributed to
+    /// `name` in the run's [`crate::TrafficReport::per_phase`], and — when
+    /// the runtime was started via [`crate::Runtime::run_with_trace`] — a
+    /// [`Span`] is recorded on this rank's timeline at guard drop. Guards
+    /// nest (innermost wins for attribution), matching the look-ahead
+    /// structure of the pipelined FW variants.
+    #[must_use = "the phase closes when the guard drops"]
+    pub fn phase(&self, name: &'static str) -> PhaseGuard {
+        trace::push_phase(name);
+        let trace = self.shared.trace.clone();
+        let start_us = trace.as_deref().map_or(0, TraceState::now_us);
+        PhaseGuard { trace, world_rank: self.members[self.rank], name, start_us }
     }
 
     /// Non-blocking probe for a pending message.
@@ -208,9 +255,28 @@ impl Comm {
     }
 }
 
+/// RAII guard for an open trace phase (see [`Comm::phase`]).
+pub struct PhaseGuard {
+    trace: Option<Arc<TraceState>>,
+    world_rank: usize,
+    name: &'static str,
+    start_us: u64,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        trace::pop_phase();
+        if let Some(tr) = &self.trace {
+            let span = Span { name: self.name, start_us: self.start_us, end_us: tr.now_us() };
+            tr.record_span(self.world_rank, span);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::runtime::Runtime;
+    use std::time::Duration;
 
     #[test]
     fn send_recv_between_ranks() {
@@ -283,5 +349,51 @@ mod tests {
     #[should_panic]
     fn user_tag_top_bit_rejected() {
         Runtime::new(1).run(|comm| comm.send(0, 1 << 63, 0u8));
+    }
+
+    #[test]
+    fn phase_guards_attribute_traffic() {
+        let (_, report) = Runtime::new(2).run_traced(|comm| {
+            if comm.rank() == 0 {
+                {
+                    let _p = comm.phase("PanelBcast");
+                    comm.send(1, 1, vec![0u8; 256]);
+                }
+                let _: Vec<u8> = comm.recv(1, 2);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 1);
+                comm.send(0, 2, vec![0u8; 16]); // outside any phase
+            }
+        });
+        assert_eq!(report.phase_nic_bytes("PanelBcast"), 256);
+        assert_eq!(report.per_phase[crate::trace::UNTRACED].nic_bytes, 16);
+        assert_eq!(report.phase_nic_bytes_sum(), report.total_nic_bytes());
+    }
+
+    #[test]
+    fn deadlock_report_names_rank_peer_tag_and_phase() {
+        // rank 1 blocks on a message rank 0 never sends; the structured
+        // report must name the blocked rank, the peer, the tag and the
+        // phase that was open at the time.
+        let rt = Runtime::new(2).with_recv_timeout(Duration::from_millis(30));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|comm| {
+                if comm.rank() == 1 {
+                    let _p = comm.phase("OuterUpdate");
+                    let _: u64 = comm.recv(0, 42);
+                }
+            });
+        }));
+        let payload = result.expect_err("the deadlocked run must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the formatted report");
+        assert!(msg.contains("recv timed out after 30ms"), "{msg}");
+        assert!(msg.contains("rank 1 (world 1)"), "{msg}");
+        assert!(msg.contains("from rank 0 (world 0)"), "{msg}");
+        assert!(msg.contains("tag=42"), "{msg}");
+        assert!(msg.contains("during phase OuterUpdate"), "{msg}");
+        assert!(msg.contains("distributed deadlock"), "{msg}");
     }
 }

@@ -6,9 +6,13 @@
 //! functional run, which lets tests validate the §3.4.1 volume model and
 //! lets the harness compare placements without any timing model at all.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
+
 use crate::placement::Placement;
+use crate::trace::UNTRACED;
 
 /// Shared atomic counters; one slot per node.
 pub(crate) struct Counters {
@@ -21,6 +25,8 @@ pub(crate) struct Counters {
     /// inter-node message count per node (egress side)
     nic_msgs: Vec<AtomicU64>,
     total_msgs: AtomicU64,
+    /// traffic keyed by the sending rank's open phase (see [`crate::trace`])
+    per_phase: Mutex<BTreeMap<&'static str, PhaseTraffic>>,
 }
 
 impl Counters {
@@ -32,19 +38,42 @@ impl Counters {
             intra: mk(),
             nic_msgs: mk(),
             total_msgs: AtomicU64::new(0),
+            per_phase: Mutex::new(BTreeMap::new()),
         }
     }
 
-    pub(crate) fn record(&self, placement: &Placement, src: usize, dst: usize, bytes: usize) {
+    /// Record one message. `phase` is the *sending* rank's currently-open
+    /// trace phase ([`crate::trace::current_phase`]); `None` lands in the
+    /// [`UNTRACED`] bucket so per-phase totals always sum to the run totals.
+    /// Returns whether the message crossed node boundaries.
+    pub(crate) fn record(
+        &self,
+        placement: &Placement,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        phase: Option<&'static str>,
+    ) -> bool {
         let (sn, dn) = (placement.node_of(src), placement.node_of(dst));
         self.total_msgs.fetch_add(1, Ordering::Relaxed);
-        if sn == dn {
-            self.intra[sn].fetch_add(bytes as u64, Ordering::Relaxed);
-        } else {
+        let nic = sn != dn;
+        if nic {
             self.nic_egress[sn].fetch_add(bytes as u64, Ordering::Relaxed);
             self.nic_ingress[dn].fetch_add(bytes as u64, Ordering::Relaxed);
             self.nic_msgs[sn].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.intra[sn].fetch_add(bytes as u64, Ordering::Relaxed);
         }
+        let mut per_phase = self.per_phase.lock();
+        let slot = per_phase.entry(phase.unwrap_or(UNTRACED)).or_default();
+        slot.msgs += 1;
+        if nic {
+            slot.nic_bytes += bytes as u64;
+            slot.nic_msgs += 1;
+        } else {
+            slot.intra_bytes += bytes as u64;
+        }
+        nic
     }
 
     pub(crate) fn snapshot(&self) -> TrafficReport {
@@ -55,12 +84,31 @@ impl Counters {
             intra_node: load(&self.intra),
             nic_msgs: load(&self.nic_msgs),
             total_msgs: self.total_msgs.load(Ordering::Relaxed),
+            per_phase: self
+                .per_phase
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
         }
     }
 }
 
+/// Traffic attributed to one phase (keyed by the sender's open phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTraffic {
+    /// Inter-node bytes sent while the phase was open.
+    pub nic_bytes: u64,
+    /// Intra-node bytes sent while the phase was open.
+    pub intra_bytes: u64,
+    /// Inter-node message count.
+    pub nic_msgs: u64,
+    /// All messages, any locality.
+    pub msgs: u64,
+}
+
 /// Immutable traffic summary of a finished run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Per-node bytes sent to other nodes.
     pub nic_egress: Vec<u64>,
@@ -72,6 +120,10 @@ pub struct TrafficReport {
     pub nic_msgs: Vec<u64>,
     /// All messages, any locality.
     pub total_msgs: u64,
+    /// Traffic keyed by the sending rank's open trace phase; sends outside
+    /// any phase land under [`crate::trace::UNTRACED`]. Per-phase values
+    /// always sum exactly to the run totals.
+    pub per_phase: BTreeMap<String, PhaseTraffic>,
 }
 
 impl TrafficReport {
@@ -95,6 +147,17 @@ impl TrafficReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// NIC bytes attributed to `phase` (0 if the phase never sent).
+    pub fn phase_nic_bytes(&self, phase: &str) -> u64 {
+        self.per_phase.get(phase).map_or(0, |t| t.nic_bytes)
+    }
+
+    /// Sum of per-phase NIC bytes — equals [`Self::total_nic_bytes`] by
+    /// construction (asserted by the integration suite).
+    pub fn phase_nic_bytes_sum(&self) -> u64 {
+        self.per_phase.values().map(|t| t.nic_bytes).sum()
+    }
 }
 
 #[cfg(test)]
@@ -105,9 +168,9 @@ mod tests {
     fn splits_intra_and_inter() {
         let p = Placement::contiguous(1, 4, 2); // nodes: {0,1}, {2,3}
         let c = Counters::new(2);
-        c.record(&p, 0, 1, 100); // intra node 0
-        c.record(&p, 0, 2, 40); // node 0 -> node 1
-        c.record(&p, 3, 1, 60); // node 1 -> node 0
+        c.record(&p, 0, 1, 100, None); // intra node 0
+        c.record(&p, 0, 2, 40, None); // node 0 -> node 1
+        c.record(&p, 3, 1, 60, None); // node 1 -> node 0
         let r = c.snapshot();
         assert_eq!(r.intra_node, vec![100, 0]);
         assert_eq!(r.nic_egress, vec![40, 60]);
@@ -116,5 +179,24 @@ mod tests {
         assert_eq!(r.max_node_nic_bytes(), 100);
         assert_eq!(r.total_msgs, 3);
         assert_eq!(r.nic_msgs, vec![1, 1]);
+    }
+
+    #[test]
+    fn attributes_traffic_to_the_senders_phase() {
+        let p = Placement::contiguous(1, 4, 2);
+        let c = Counters::new(2);
+        c.record(&p, 0, 2, 40, Some("PanelBcast"));
+        c.record(&p, 2, 0, 25, Some("PanelBcast"));
+        c.record(&p, 0, 1, 10, Some("DiagBcast")); // intra
+        c.record(&p, 3, 0, 5, None); // untraced
+        let r = c.snapshot();
+        let pb = &r.per_phase["PanelBcast"];
+        assert_eq!((pb.nic_bytes, pb.nic_msgs, pb.msgs), (65, 2, 2));
+        let db = &r.per_phase["DiagBcast"];
+        assert_eq!((db.nic_bytes, db.intra_bytes), (0, 10));
+        assert_eq!(r.per_phase[crate::trace::UNTRACED].nic_bytes, 5);
+        assert_eq!(r.phase_nic_bytes_sum(), r.total_nic_bytes());
+        assert_eq!(r.phase_nic_bytes("PanelBcast"), 65);
+        assert_eq!(r.phase_nic_bytes("OuterUpdate"), 0);
     }
 }

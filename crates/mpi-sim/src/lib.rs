@@ -40,10 +40,12 @@ pub mod p2p;
 pub mod payload;
 pub mod placement;
 pub mod runtime;
+pub mod trace;
 
-pub use comm::Comm;
-pub use counters::TrafficReport;
+pub use comm::{Comm, PhaseGuard};
+pub use counters::{PhaseTraffic, TrafficReport};
 pub use grid::ProcessGrid;
 pub use payload::Payload;
 pub use placement::Placement;
 pub use runtime::Runtime;
+pub use trace::{MsgEvent, RankTimeline, RunTrace, Span, PHASES};

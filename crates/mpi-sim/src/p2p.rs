@@ -14,6 +14,15 @@ use parking_lot::{Condvar, Mutex};
 /// Matching key: (communicator context, source rank in that communicator, tag).
 pub(crate) type MatchKey = (u64, usize, u64);
 
+/// A receive gave up waiting (suspected distributed deadlock). Carries the
+/// keys still queued in the mailbox so the caller's report can show what
+/// *did* arrive while the expected message never did.
+#[derive(Clone, Debug)]
+pub(crate) struct RecvTimeout {
+    /// Match keys of every message pending in the mailbox at timeout.
+    pub(crate) pending: Vec<MatchKey>,
+}
+
 struct Envelope {
     key: MatchKey,
     bytes: usize,
@@ -39,12 +48,20 @@ impl Mailbox {
         self.cv.notify_all();
     }
 
-    /// Blocking receive of the first message matching `key`.
+    /// Blocking receive of the first message matching `key`. Returns
+    /// [`RecvTimeout`] after `timeout` (suspected deadlock); the caller —
+    /// [`crate::Comm::recv`] — turns that into a structured report naming
+    /// the blocked rank, its peer and the open trace phase, which this
+    /// layer cannot know.
     ///
     /// # Panics
-    /// Panics after `timeout` (suspected deadlock) or if the payload type
-    /// does not match `T` (mismatched send/recv pair — a program bug).
-    pub(crate) fn recv<T: Send + 'static>(&self, key: MatchKey, timeout: Duration) -> (T, usize) {
+    /// Panics if the payload type does not match `T` (mismatched send/recv
+    /// pair — a program bug, not a deadlock).
+    pub(crate) fn recv<T: Send + 'static>(
+        &self,
+        key: MatchKey,
+        timeout: Duration,
+    ) -> Result<(T, usize), RecvTimeout> {
         let mut q = self.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|e| e.key == key) {
@@ -62,18 +79,10 @@ impl Mailbox {
                             std::any::type_name::<T>()
                         )
                     });
-                return (*payload, bytes);
+                return Ok((*payload, bytes));
             }
             if self.cv.wait_for(&mut q, timeout).timed_out() {
-                let pending: Vec<MatchKey> = q.iter().map(|e| e.key).collect();
-                panic!(
-                    "recv timed out after {timeout:?} waiting for ctx={} src={} tag={}; \
-                     mailbox holds {} message(s): {pending:?} — distributed deadlock?",
-                    key.0,
-                    key.1,
-                    key.2,
-                    pending.len()
-                );
+                return Err(RecvTimeout { pending: q.iter().map(|e| e.key).collect() });
             }
         }
     }
@@ -95,8 +104,8 @@ mod tests {
         let key = (0, 1, 7);
         mb.deliver(key, 4, Box::new(10u32));
         mb.deliver(key, 4, Box::new(20u32));
-        let (a, _) = mb.recv::<u32>(key, Duration::from_secs(1));
-        let (b, _) = mb.recv::<u32>(key, Duration::from_secs(1));
+        let (a, _) = mb.recv::<u32>(key, Duration::from_secs(1)).unwrap();
+        let (b, _) = mb.recv::<u32>(key, Duration::from_secs(1)).unwrap();
         assert_eq!((a, b), (10, 20));
     }
 
@@ -105,7 +114,7 @@ mod tests {
         let mb = Mailbox::new();
         mb.deliver((0, 2, 1), 4, Box::new(99u32));
         mb.deliver((0, 1, 1), 4, Box::new(42u32));
-        let (got, _) = mb.recv::<u32>((0, 1, 1), Duration::from_secs(1));
+        let (got, _) = mb.recv::<u32>((0, 1, 1), Duration::from_secs(1)).unwrap();
         assert_eq!(got, 42);
         assert!(mb.probe((0, 2, 1)));
     }
@@ -114,17 +123,22 @@ mod tests {
     fn recv_blocks_until_delivery() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = mb.clone();
-        let t = std::thread::spawn(move || mb2.recv::<u64>((1, 0, 0), Duration::from_secs(5)).0);
+        let t = std::thread::spawn(move || {
+            mb2.recv::<u64>((1, 0, 0), Duration::from_secs(5)).unwrap().0
+        });
         std::thread::sleep(Duration::from_millis(20));
         mb.deliver((1, 0, 0), 8, Box::new(7u64));
         assert_eq!(t.join().unwrap(), 7);
     }
 
     #[test]
-    #[should_panic(expected = "timed out")]
     fn recv_times_out_on_deadlock() {
         let mb = Mailbox::new();
-        let _ = mb.recv::<u32>((0, 0, 0), Duration::from_millis(10));
+        mb.deliver((0, 3, 9), 4, Box::new(1u32)); // unrelated message
+        let err = mb
+            .recv::<u32>((0, 0, 0), Duration::from_millis(10))
+            .expect_err("nothing matching ever arrives");
+        assert_eq!(err.pending, vec![(0, 3, 9)]);
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Placement {
     /// row-major `pr × pc` process grid this produces the `1 × Q` / `Q × 1`
     /// style intranode footprints the paper calls "typical".
     pub fn contiguous(pr: usize, pc: usize, q: usize) -> Self {
-        assert!(q > 0 && (pr * pc) % q == 0, "q must divide P");
+        assert!(q > 0 && (pr * pc).is_multiple_of(q), "q must divide P");
         Placement {
             pr,
             pc,
@@ -67,7 +67,7 @@ impl Placement {
     /// # Panics
     /// Panics unless `qr | pr` and `qc | pc`.
     pub fn tiled(pr: usize, pc: usize, qr: usize, qc: usize) -> Self {
-        assert!(qr > 0 && qc > 0 && pr % qr == 0 && pc % qc == 0, "Q grid must tile P grid");
+        assert!(qr > 0 && qc > 0 && pr.is_multiple_of(qr) && pc.is_multiple_of(qc), "Q grid must tile P grid");
         let kc = pc / qc;
         let node_of = (0..pr * pc)
             .map(|rank| {

@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use crate::comm::{Comm, Shared};
 use crate::counters::TrafficReport;
 use crate::placement::Placement;
+use crate::trace::{RunTrace, TraceState};
 
 /// Configures and launches an SPMD job. Each rank runs the user closure on
 /// its own OS thread with a [`Comm`] world communicator.
@@ -55,15 +56,41 @@ impl Runtime {
         &self,
         f: impl Fn(Comm) -> R + Send + Sync,
     ) -> (Vec<R>, TrafficReport) {
-        let shared = Arc::new(Shared::new(self.p, self.placement.clone(), self.recv_timeout));
+        let (out, traffic, _) = self.run_inner(f, None);
+        (out, traffic)
+    }
+
+    /// Like [`Runtime::run_traced`] but additionally records a full
+    /// [`RunTrace`]: per-rank phase spans (opened via [`Comm::phase`]) and
+    /// per-message events, on a shared monotonic clock. Export it with
+    /// [`RunTrace::to_chrome_json`] / [`RunTrace::phase_summary`].
+    pub fn run_with_trace<R: Send>(
+        &self,
+        f: impl Fn(Comm) -> R + Send + Sync,
+    ) -> (Vec<R>, TrafficReport, RunTrace) {
+        let state = Arc::new(TraceState::new(self.p));
+        let (out, traffic, trace) = self.run_inner(f, Some(state));
+        (out, traffic, trace.expect("trace state was attached"))
+    }
+
+    fn run_inner<R: Send>(
+        &self,
+        f: impl Fn(Comm) -> R + Send + Sync,
+        trace: Option<Arc<TraceState>>,
+    ) -> (Vec<R>, TrafficReport, Option<RunTrace>) {
+        let shared = Arc::new(Shared::new(
+            self.p,
+            self.placement.clone(),
+            self.recv_timeout,
+            trace.clone(),
+        ));
         let results: Vec<Mutex<Option<R>>> = (0..self.p).map(|_| Mutex::new(None)).collect();
         let f = &f;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.p);
-            for rank in 0..self.p {
+            for (rank, slot) in results.iter().enumerate() {
                 let shared = shared.clone();
-                let slot = &results[rank];
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("rank-{rank}"))
@@ -85,7 +112,7 @@ impl Runtime {
             .into_iter()
             .map(|m| m.into_inner().expect("rank finished without a result"))
             .collect();
-        (out, shared.counters.snapshot())
+        (out, shared.counters.snapshot(), trace.map(|t| t.finish()))
     }
 }
 
@@ -128,6 +155,30 @@ mod tests {
         });
         assert_eq!(report.total_nic_bytes(), 0);
         assert_eq!(report.total_intra_bytes(), 128);
+    }
+
+    #[test]
+    fn traced_run_records_spans_and_messages() {
+        let rt = Runtime::new(2);
+        let (_, report, trace) = rt.run_with_trace(|comm| {
+            let _p = comm.phase("DiagBcast");
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 64]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+        });
+        assert_eq!(trace.num_ranks(), 2);
+        for tl in &trace.per_rank {
+            assert_eq!(tl.spans.len(), 1);
+            assert_eq!(tl.spans[0].name, "DiagBcast");
+        }
+        // only rank 0 sent anything
+        assert_eq!(trace.per_rank[0].events.len(), 1);
+        let e = trace.per_rank[0].events[0];
+        assert_eq!((e.dst_world, e.bytes, e.nic, e.phase), (1, 64, true, Some("DiagBcast")));
+        assert!(trace.per_rank[1].events.is_empty());
+        assert_eq!(report.phase_nic_bytes("DiagBcast"), 64);
     }
 
     #[test]

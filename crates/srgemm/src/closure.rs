@@ -102,7 +102,7 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             if i == j {
                 0.0
-            } else if (state >> 33) % density_mod == 0 {
+            } else if (state >> 33).is_multiple_of(density_mod) {
                 ((state >> 13) % 100) as f64 + 1.0
             } else {
                 f64::INFINITY

@@ -57,7 +57,10 @@ pub fn gemm_blocked_tiled<S: Semiring>(
 }
 
 /// Innermost tile: i-k-j with the j-loop over contiguous row slices.
+/// (Index-offset loops kept as written: the kernel mirrors the BLAS-style
+/// tiling math, and iterator forms obscure the `k0..k0+kb` windows.)
 #[inline]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
 fn micro_kernel<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
     a: &View<'_, S::Elem>,

@@ -318,6 +318,6 @@ mod tests {
     fn real_arith_matches_ieee() {
         type S = RealArith<f64>;
         assert_eq!(S::fma(1.0, 2.0, 3.0), 7.0);
-        assert!(!S::IDEMPOTENT_ADD);
+        const { assert!(!S::IDEMPOTENT_ADD) };
     }
 }

@@ -1,0 +1,158 @@
+//! Std-only shim for the `proptest` API subset used by this workspace.
+//!
+//! The build environment cannot reach crates.io, so this provides the
+//! pieces the property tests rely on — the [`proptest!`] macro,
+//! [`prop_assert!`]-family macros, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`prop_oneof!`],
+//! `collection::vec`, and `bool::weighted` — backed by a deterministic,
+//! seeded random sampler. Differences from real proptest: no shrinking and
+//! no persisted regression files; failures print the failing case's seed
+//! and iteration so the run can be reproduced (sampling is deterministic
+//! per test).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// `proptest::collection` — sized collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A vector of exactly `len` elements drawn from `element`.
+    ///
+    /// (Real proptest accepts size *ranges* here; the workspace only uses
+    /// exact sizes, which is all the shim supports.)
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use crate::strategy::Weighted;
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+}
+
+/// The test macro: runs each case body over `Config::cases` sampled inputs.
+///
+/// Supported grammar (the subset the workspace uses):
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in strategy, (a, b) in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let seed = $crate::test_runner::env_seed();
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(64);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> = (|| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match case {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed (seed {seed}, attempt {attempts}): {msg}\n\
+                                 reproduce with PROPTEST_SHIM_SEED={seed}"
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Discard the current case (it is re-drawn, not failed) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` (weights optional).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}

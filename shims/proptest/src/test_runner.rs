@@ -1,0 +1,66 @@
+//! Runner plumbing: per-test configuration, case errors, and the
+//! deterministic sampling RNG.
+
+use rand::prelude::*;
+
+/// Per-`proptest!` block configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — redraw, do not count as a failure.
+    Reject,
+    /// `prop_assert!`-family failure with its rendered message.
+    Fail(String),
+}
+
+/// Sampling seed: fixed for reproducible CI, overridable via
+/// `PROPTEST_SHIM_SEED` to replay a reported failure or widen exploration.
+pub fn env_seed() -> u64 {
+    std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CA5E_0001)
+}
+
+/// The RNG strategies draw from.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}

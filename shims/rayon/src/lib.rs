@@ -1,0 +1,151 @@
+//! Std-only shim for the `rayon` API subset used by this workspace:
+//! `into_par_iter()` on vectors and ranges with `map`/`for_each`/`collect`,
+//! plus [`current_num_threads`].
+//!
+//! The build environment cannot reach crates.io, so this replaces rayon's
+//! work-stealing pool with scoped threads over contiguous chunks — one chunk
+//! per available core. For the workspace's workloads (row slabs of a GEMM,
+//! one Dijkstra per source) the items are uniform enough that static
+//! chunking keeps the cores busy.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// An eager "parallel iterator" over an owned item list.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Run `f` on every item, fanned out over the available cores.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        run_chunked(self.items, &|chunk| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+
+    /// Map every item (in parallel); order is preserved.
+    pub fn map<R: Send, F>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(T) -> R + Send + Sync,
+    {
+        let chunks = run_chunked_collect(self.items, &|chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        });
+        ParIter { items: chunks.into_iter().flatten().collect() }
+    }
+
+    /// Collect the items; `C` is typically `Vec<T>`.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// Split `items` into one contiguous chunk per worker and run `f` on each
+/// chunk in its own scoped thread.
+fn run_chunked<T: Send>(items: Vec<T>, f: &(impl Fn(Vec<T>) + Sync)) {
+    run_chunked_collect(items, &|chunk| {
+        f(chunk);
+    });
+}
+
+fn run_chunked_collect<T: Send, R: Send>(
+    items: Vec<T>,
+    f: &(impl Fn(Vec<T>) -> R + Sync),
+) -> Vec<R> {
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        return vec![f(items)];
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk_len.min(rest.len()));
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let sum = AtomicU64::new(0);
+        (0..100u32).into_par_iter().for_each(|i| {
+            sum.fetch_add(u64::from(i), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        Vec::<u32>::new().into_par_iter().for_each(|_| panic!("no items"));
+    }
+}

@@ -8,7 +8,7 @@ use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
 use apsp_core::fw_seq::{fw_seq, fw_seq_with_paths, reconstruct_path};
 use apsp_core::verify::{assert_matrices_equal, check_apsp_invariants};
 use apsp_graph::dijkstra::apsp_by_dijkstra;
-use apsp_graph::generators::{self, GraphKind, WeightKind};
+use apsp_graph::generators::{self, WeightKind};
 use apsp_graph::johnson::johnson_apsp;
 use apsp_graph::paths::validate_path;
 use mpi_sim::Placement;
