@@ -1,5 +1,5 @@
-//! End-to-end distributed Floyd-Warshall on the thread-backed runtime: all
-//! four variants on a 2×2 grid. Functional wall-clock — the at-scale timing
+//! End-to-end distributed Floyd-Warshall on the thread-backed runtime:
+//! every preset on a 2×2 grid. Functional wall-clock — the at-scale timing
 //! story lives in the fig7/fig8 harnesses.
 
 use apsp_core::dist::{distributed_apsp, FwConfig, Variant};
@@ -19,7 +19,7 @@ fn bench_variants(c: &mut Criterion) {
             &variant,
             |bch, &variant| {
                 let cfg = FwConfig::new(32, variant);
-                bch.iter(|| distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).0)
+                bch.iter(|| distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run").0)
             },
         );
     }

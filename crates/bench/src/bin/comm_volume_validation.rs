@@ -36,7 +36,8 @@ fn main() {
         let (kr, kc) = (pr / qr, pc / qc);
         let cfg = FwConfig::new(n.div_ceil(8).max(4), Variant::AsyncRing);
         let placement = Placement::tiled(pr, pc, qr, qc);
-        let (got, traffic) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, Some(placement));
+        let (got, traffic) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, Some(placement))
+            .expect("in-core run cannot hit the device wall");
         assert_matrices_equal(&want, &got, "distributed result");
         let bound = comm_lower_bound_bytes(n, kr, kc, 4);
         let measured = traffic.max_node_nic_bytes() as f64;

@@ -27,9 +27,11 @@ fn main() {
         ("Pipelined", 10),
         ("+Reorder", 9),
         ("+Async", 9),
+        ("Co+Me", 9),
         ("regime", 14),
     ]);
-    let mut csv = Csv::from_args(&["vertices", "baseline", "pipelined", "reorder", "async", "regime"]);
+    let mut csv =
+        Csv::from_args(&["vertices", "baseline", "pipelined", "reorder", "async", "come", "regime"]);
 
     // Fig. 4's x-axis: 26,008 … 524,288
     let sweep: Vec<usize> = paper_vertex_sweep()
@@ -55,6 +57,7 @@ fn main() {
             run(Variant::Pipelined, dkr, dkc),
             run(Variant::Pipelined, okr, okc),
             run(Variant::AsyncRing, okr, okc),
+            run(Variant::CoMe, okr, okc),
             regime.to_string(),
         ];
         csv.row(&row);
@@ -71,6 +74,7 @@ fn main() {
             ("pipelined", Variant::Pipelined, dkr, dkc),
             ("reorder", Variant::Pipelined, okr, okc),
             ("async", Variant::AsyncRing, okr, okc),
+            ("come", Variant::CoMe, okr, okc),
         ],
     );
 }

@@ -4,8 +4,12 @@
 //! Expected shape (paper §5.4): the communication-optimized variants win
 //! below ~208k vertices (bandwidth-bound); past that everything converges
 //! toward the compute roofline; every in-GPU-memory variant dies at the
-//! "Beyond GPU Memory" wall after 524k; only Offload continues to 1.66M at
-//! roughly half the throughput of its in-core peak.
+//! "Beyond GPU Memory" wall after 524k; only the offload execs continue to
+//! 1.66M — bulk-synchronous Offload at roughly half the throughput of its
+//! in-core peak, and the composed Co+Me system (look-ahead + ring + offload)
+//! recovering ~50% of sustained peak there (§5.4).
+//!
+//! `--max-n <N>` truncates the sweep (used by the CI smoke run).
 
 use apsp_bench::{arg, paper_vertex_sweep, write_schedule_traces, Csv, Table};
 use apsp_core::dist::Variant;
@@ -14,6 +18,7 @@ use cluster_sim::MachineSpec;
 
 fn main() {
     let nodes: usize = arg("--nodes", 64);
+    let max_n: usize = arg("--max-n", usize::MAX);
     let spec = MachineSpec::summit(nodes);
     let (dkr, dkc) = default_node_grid(nodes);
     let (okr, okc) = optimal_node_grid(nodes);
@@ -26,10 +31,11 @@ fn main() {
         ("Pipelined", 10),
         ("+Async", 9),
         ("Offload", 9),
+        ("Co+Me", 9),
     ]);
-    let mut csv = Csv::from_args(&["vertices", "baseline", "pipelined", "async", "offload"]);
+    let mut csv = Csv::from_args(&["vertices", "baseline", "pipelined", "async", "offload", "come"]);
 
-    for n in paper_vertex_sweep() {
+    for n in paper_vertex_sweep().into_iter().filter(|&n| n <= max_n) {
         let run = |variant, kr, kc| -> String {
             let cfg = ScheduleConfig::new(n, variant, kr, kc);
             match simulate(&spec, &cfg) {
@@ -43,12 +49,14 @@ fn main() {
             run(Variant::Pipelined, dkr, dkc),
             run(Variant::AsyncRing, okr, okc),
             run(Variant::Offload, okr, okc),
+            run(Variant::CoMe, okr, okc),
         ];
         csv.row(&row);
         table.row(&row);
     }
     println!("\npaper: in-memory variants stop after 524,288 (\"Beyond GPU Memory\");");
-    println!("       Offload reaches 1,664,511 vertices at ~50% of theoretical throughput");
+    println!("       Offload reaches 1,664,511 vertices at ~50% of theoretical throughput;");
+    println!("       Co+Me composes the look-ahead schedule and ring bcast onto offload");
 
     // --trace <prefix>: per-legend schedule traces at --trace-n vertices
     write_schedule_traces(
@@ -58,6 +66,7 @@ fn main() {
             ("pipelined", Variant::Pipelined, dkr, dkc),
             ("async", Variant::AsyncRing, okr, okc),
             ("offload", Variant::Offload, okr, okc),
+            ("come", Variant::CoMe, okr, okc),
         ],
     );
 }

@@ -20,13 +20,15 @@ fn main() {
         ("Pipelined", 10),
         ("+Reorder", 9),
         ("+Async", 8),
+        ("Co+Me", 8),
         ("perfect", 8),
         ("speedup", 8),
         ("par.eff", 8),
     ]);
 
     let mut csv = Csv::from_args(&[
-        "nodes", "offload", "baseline", "pipelined", "reorder", "async", "perfect", "speedup", "pareff",
+        "nodes", "offload", "baseline", "pipelined", "reorder", "async", "come", "perfect", "speedup",
+        "pareff",
     ]);
     let mut async16 = None;
     for nodes in [16usize, 32, 64, 128, 256] {
@@ -61,6 +63,7 @@ fn main() {
             fmt(run(Variant::Pipelined, dkr, dkc)),
             fmt(run(Variant::Pipelined, okr, okc)),
             fmt(asyn),
+            fmt(run(Variant::CoMe, okr, okc)),
             fmt(perfect),
             speedup,
             pareff,

@@ -21,9 +21,12 @@ fn main() {
         ("Pipelined", 10),
         ("+Reorder", 9),
         ("+Async", 9),
+        ("Co+Me", 9),
     ]);
 
-    let mut csv = Csv::from_args(&["nodes", "vertices", "offload", "baseline", "pipelined", "reorder", "async"]);
+    let mut csv = Csv::from_args(&[
+        "nodes", "vertices", "offload", "baseline", "pipelined", "reorder", "async", "come",
+    ]);
     for nodes in [16usize, 32, 64, 128, 256] {
         let n = (n16 as f64 * (nodes as f64 / 16.0).cbrt()).round() as usize;
         let spec = MachineSpec::summit(nodes);
@@ -42,6 +45,7 @@ fn main() {
             run(Variant::Pipelined, dkr, dkc),
             run(Variant::Pipelined, okr, okc),
             run(Variant::AsyncRing, okr, okc),
+            run(Variant::CoMe, okr, okc),
         ];
         csv.row(&row);
         table.row(&row);

@@ -9,7 +9,8 @@ pub mod solve;
 use apsp_graph::graph::Graph;
 use apsp_graph::io;
 
-/// Parse a `--variant` name (shared by `simulate` and `solve --algo dist`).
+/// Parse a `--variant` preset name (shared by `simulate` and
+/// `solve --algo dist`).
 pub fn parse_variant(name: &str) -> Result<apsp_core::dist::Variant, String> {
     use apsp_core::dist::Variant;
     match name {
@@ -17,8 +18,73 @@ pub fn parse_variant(name: &str) -> Result<apsp_core::dist::Variant, String> {
         "pipelined" => Ok(Variant::Pipelined),
         "async" => Ok(Variant::AsyncRing),
         "offload" => Ok(Variant::Offload),
-        other => Err(format!("unknown variant '{other}' (baseline|pipelined|async|offload)")),
+        "come" | "co+me" => Ok(Variant::CoMe),
+        other => Err(format!("unknown variant '{other}' (baseline|pipelined|async|offload|come)")),
     }
+}
+
+/// Parse a `--schedule` axis value.
+pub fn parse_schedule(name: &str) -> Result<apsp_core::dist::Schedule, String> {
+    use apsp_core::dist::Schedule;
+    match name {
+        "bulksync" | "bulk-sync" => Ok(Schedule::BulkSync),
+        "lookahead" | "look-ahead" => Ok(Schedule::LookAhead),
+        other => Err(format!("unknown schedule '{other}' (bulksync|lookahead)")),
+    }
+}
+
+/// Parse a `--bcast` axis value (`tree`, `ring`, or `ring:<chunks>`).
+pub fn parse_bcast(name: &str) -> Result<apsp_core::dist::PanelBcastAlgo, String> {
+    use apsp_core::dist::{PanelBcastAlgo, DEFAULT_RING_CHUNKS};
+    match name {
+        "tree" => Ok(PanelBcastAlgo::Tree),
+        "ring" => Ok(PanelBcastAlgo::Ring { chunks: DEFAULT_RING_CHUNKS }),
+        other => match other.strip_prefix("ring:") {
+            Some(c) => {
+                let chunks: usize =
+                    c.parse().map_err(|_| format!("bad ring chunk count '{c}'"))?;
+                if chunks == 0 {
+                    return Err("ring chunk count must be positive".into());
+                }
+                Ok(PanelBcastAlgo::Ring { chunks })
+            }
+            None => Err(format!("unknown bcast '{other}' (tree|ring|ring:<chunks>)")),
+        },
+    }
+}
+
+/// Parse an `--exec` axis value.
+pub fn parse_exec(name: &str) -> Result<apsp_core::dist::Exec, String> {
+    use apsp_core::dist::Exec;
+    match name {
+        "incore" | "in-core" => Ok(Exec::InCoreGemm),
+        "offload" | "gpu-offload" => Ok(Exec::GpuOffload),
+        other => Err(format!("unknown exec '{other}' (incore|offload)")),
+    }
+}
+
+/// Resolve the policy triple from `--variant` (preset, default
+/// `default_variant`) with per-axis `--schedule` / `--bcast` / `--exec`
+/// overrides layered on top.
+pub fn resolve_axes(
+    args: &crate::args::Args,
+    default_variant: &str,
+) -> Result<
+    (apsp_core::dist::Schedule, apsp_core::dist::PanelBcastAlgo, apsp_core::dist::Exec),
+    String,
+> {
+    let variant = parse_variant(&args.opt("variant", default_variant.to_string())?)?;
+    let (mut schedule, mut bcast, mut exec) = variant.axes();
+    if let Some(s) = args.opt_str("schedule") {
+        schedule = parse_schedule(s)?;
+    }
+    if let Some(b) = args.opt_str("bcast") {
+        bcast = parse_bcast(b)?;
+    }
+    if let Some(e) = args.opt_str("exec") {
+        exec = parse_exec(e)?;
+    }
+    Ok((schedule, bcast, exec))
 }
 
 /// Load a graph from `path`, inferring format from the extension unless

@@ -10,7 +10,10 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     if tokens.iter().any(|t| t == "--help") {
         println!(
             "apsp simulate --nodes <N> --n <VERTICES>
-  --variant <baseline|pipelined|async|offload>   (default async)
+  --variant <baseline|pipelined|async|offload|come>  preset (default async)
+  --schedule <bulksync|lookahead>                override the schedule axis
+  --bcast <tree|ring|ring:CHUNKS>                override the PanelBcast axis
+  --exec <incore|offload>                        override the execution axis
   --block <N>                                    (default 768)
   --reorder / --no-reorder                       node-grid placement
   --trace <FILE>                                 write the simulated schedule
@@ -22,14 +25,14 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
     let args = Args::parse(tokens)?;
     let nodes: usize = args.req("nodes")?;
     let n: usize = args.req("n")?;
-    let variant = super::parse_variant(&args.opt("variant", "async".to_string())?)?;
+    let (schedule, bcast, exec) = super::resolve_axes(&args, "async")?;
     let (kr, kc) = if args.has_flag("no-reorder") {
         default_node_grid(nodes)
     } else {
         optimal_node_grid(nodes)
     };
     let spec = MachineSpec::summit(nodes);
-    let mut cfg = ScheduleConfig::new(n, variant, kr, kc);
+    let mut cfg = ScheduleConfig::with_axes(n, schedule, bcast, exec, kr, kc);
     cfg.block = args.opt("block", 768)?;
 
     let (sim, trace_json) = if let Some(path) = args.opt_str("trace") {
@@ -40,7 +43,7 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
     };
     match sim {
         Ok(out) => {
-            println!("{} on {nodes} Summit nodes (K = {kr}x{kc}), n = {n}, b = {}:", variant.legend(), cfg.block);
+            println!("{} on {nodes} Summit nodes (K = {kr}x{kc}), n = {n}, b = {}:", cfg.legend(), cfg.block);
             println!("  time                {:>12.2} s", out.seconds);
             println!("  rate                {:>12.3} Pflop/s", out.pflops);
             println!(
@@ -95,5 +98,20 @@ mod tests {
     #[test]
     fn rejects_unknown_variant() {
         assert!(run(&toks("--nodes 4 --n 1000 --variant warp")).is_err());
+    }
+
+    #[test]
+    fn come_preset_clears_the_memory_wall() {
+        // the composed system keeps offload's host-memory residency, so the
+        // paper's 1.66M-vertex configuration stays feasible
+        run(&toks("--nodes 64 --n 1664511 --variant come")).unwrap();
+    }
+
+    #[test]
+    fn axis_overrides_compose_with_presets() {
+        // baseline preset pushed onto the offload exec axis clears the wall
+        run(&toks("--nodes 64 --n 1664511 --variant baseline --exec offload")).unwrap();
+        // and an explicit ring depth parses
+        run(&toks("--nodes 16 --n 100000 --bcast ring:32 --schedule lookahead")).unwrap();
     }
 }

@@ -27,7 +27,10 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
                      per-phase summary (implies --algo dist; --input becomes
                      optional — a built-in demo graph is traced without one)
   --pr <N> --pc <N>  process grid for --algo dist (default 2x2)
-  --variant <baseline|pipelined|async|offload>   dist variant (default pipelined)"
+  --variant <baseline|pipelined|async|offload|come>  dist preset (default pipelined)
+  --schedule <bulksync|lookahead>   override the iteration-schedule axis
+  --bcast <tree|ring|ring:CHUNKS>   override the PanelBcast axis
+  --exec <incore|offload>           override the OuterUpdate execution axis"
         );
         return Ok(());
     }
@@ -101,11 +104,12 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         "dist" => {
             let pr: usize = args.opt("pr", 2)?;
             let pc: usize = args.opt("pc", 2)?;
-            let variant = super::parse_variant(&args.opt("variant", "pipelined".to_string())?)?;
-            let cfg = apsp_core::dist::FwConfig::new(block, variant);
-            println!("dist: {} on a {pr}x{pc} simulated grid, b = {block}", variant.legend());
+            let (schedule, bcast, exec) = super::resolve_axes(&args, "pipelined")?;
+            let cfg = apsp_core::dist::FwConfig::from_axes(block, schedule, bcast, exec);
+            println!("dist: {} on a {pr}x{pc} simulated grid, b = {block}", cfg.legend());
             let (d, traffic, trace) =
-                apsp_core::distributed_apsp_traced::<MinPlusF32>(pr, pc, &cfg, &g.to_dense(), None);
+                apsp_core::distributed_apsp_traced::<MinPlusF32>(pr, pc, &cfg, &g.to_dense(), None)
+                    .map_err(|e| format!("dist: {e}"))?;
             print!("{}", trace.phase_summary(&traffic));
             if let Some(path) = trace_path {
                 std::fs::write(path, trace.to_chrome_json())
@@ -191,6 +195,43 @@ mod tests {
         }
         for o in &outputs[1..] {
             assert_eq!(o, &outputs[0]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dist_axis_overrides_and_come_preset_agree_with_fw() {
+        let (dir, input) = fixture();
+        let want = dir.join("fw.tsv");
+        run(&toks(&format!("--input {} --algo fw --out {}", input.display(), want.display())))
+            .unwrap();
+        let want = std::fs::read_to_string(&want).unwrap();
+        for (i, extra) in [
+            "--variant come",
+            "--variant baseline --bcast ring:2",
+            "--variant pipelined --exec offload --schedule bulksync",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let out = dir.join(format!("axes{i}.tsv"));
+            let cmd = format!(
+                "--input {} --algo dist --block 4 {extra} --out {}",
+                input.display(),
+                out.display()
+            );
+            run(&toks(&cmd)).unwrap();
+            assert_eq!(std::fs::read_to_string(&out).unwrap(), want, "{extra}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_axis_values_are_reported() {
+        let (dir, input) = fixture();
+        for extra in ["--schedule eager", "--bcast ring:0", "--exec tpu"] {
+            let cmd = format!("--input {} --algo dist {extra}", input.display());
+            assert!(run(&toks(&cmd)).is_err(), "{extra} should be rejected");
         }
         std::fs::remove_dir_all(&dir).ok();
     }

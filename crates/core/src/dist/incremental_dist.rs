@@ -71,7 +71,7 @@ pub fn decrease_edge_dist<S: Semiring>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dist::{baseline, DistMatrix, FwConfig, Variant};
+    use crate::dist::{driver, DistMatrix, FwConfig, InCoreGemm, Variant};
     use crate::fw_seq::fw_seq;
     use apsp_graph::generators::{self, WeightKind};
     use apsp_graph::graph::GraphBuilder;
@@ -94,7 +94,7 @@ mod tests {
             let (r, c) = grid.coords();
             let mut a = DistMatrix::from_global(&input, b, pr, pc, r, c);
             let cfg = FwConfig::new(b, Variant::Baseline);
-            baseline::run::<MinPlusF32>(&grid, &mut a, &cfg);
+            driver::run::<MinPlusF32, _>(&grid, &mut a, &cfg, &mut InCoreGemm).expect("in-core run");
             for &(u, v, w) in &updates2 {
                 decrease_edge_dist::<MinPlusF32>(&grid, &mut a, u, v, w);
             }

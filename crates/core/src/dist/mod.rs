@@ -1,27 +1,43 @@
 //! Distributed Floyd-Warshall over the `mpi-sim` runtime.
 //!
-//! All four variants share the block-cyclic layout ([`layout::DistMatrix`])
-//! and the broadcast plumbing in this module; they differ exactly where the
-//! paper says they do:
+//! The distributed algorithm space is spanned by **three orthogonal policy
+//! axes** rather than a closed list of variants:
 //!
-//! | Variant | Schedule | PanelBcast | OuterUpdate |
+//! * [`Schedule`] — how iterations are ordered: bulk-synchronous
+//!   (Algorithm 3) or look-ahead pipelined (Algorithm 4, §3.1–3.2).
+//! * [`PanelBcastAlgo`] — how the k-th panels travel: binomial tree or the
+//!   bandwidth-optimal pipelined ring (§3.3).
+//! * [`Exec`] / the [`OuterExec`] trait — where the OuterUpdate runs:
+//!   in-core GEMM ([`InCoreGemm`]) or staged through a capacity-limited
+//!   simulated GPU by `ooGSrGemm` ([`GpuOffload`], §4.3).
+//!
+//! One generic driver loop ([`driver::run`]) consumes the triple; the paper's
+//! named systems are thin presets over it:
+//!
+//! | Preset | Schedule | PanelBcast | OuterExec |
 //! |---|---|---|---|
-//! | [`Variant::Baseline`] | bulk-synchronous (Alg. 3) | binomial tree | in-core GEMM |
-//! | [`Variant::Pipelined`] | look-ahead (Alg. 4) | binomial tree | in-core GEMM |
-//! | [`Variant::AsyncRing`] | look-ahead | pipelined ring (§3.3) | in-core GEMM |
-//! | [`Variant::Offload`] | bulk-synchronous | binomial tree | `ooGSrGemm` through the simulated GPU (§4.3) |
+//! | [`Variant::Baseline`] | BulkSync (Alg. 3) | Tree | InCoreGemm |
+//! | [`Variant::Pipelined`] | LookAhead (Alg. 4) | Tree | InCoreGemm |
+//! | [`Variant::AsyncRing`] | LookAhead | Ring (§3.3) | InCoreGemm |
+//! | [`Variant::Offload`] | BulkSync | Tree | GpuOffload (§4.3) |
+//! | [`Variant::CoMe`] | LookAhead | Ring | GpuOffload |
 //!
-//! Every variant produces bit-identical results to sequential
-//! Floyd-Warshall; the differences are purely in communication structure and
-//! memory residency, which the `cluster-sim` schedules turn into time.
+//! `CoMe` is the paper's full composed system — `Me-ParallelFw` inheriting
+//! `Co-ParallelFw`'s pipelined schedule and ring PanelBcast — the
+//! configuration behind the Fig. 7 run at n = 1.66M. The remaining corners
+//! of the 2×2×2 cube (e.g. BulkSync+Ring) are unnamed but fully supported;
+//! the cross-variant property tests sweep all eight.
+//!
+//! Every point of the cube produces bit-identical results to sequential
+//! Floyd-Warshall; the axes only change communication structure and memory
+//! residency, which the `cluster-sim` schedules turn into time.
 
-pub mod baseline;
+pub mod driver;
 pub mod incremental_dist;
 pub mod layout;
-pub mod offload;
 pub mod oned;
-pub mod pipelined;
 
+pub use driver::{GpuOffload, InCoreGemm, OffloadStats, OuterExec};
 pub use layout::DistMatrix;
 
 use gpu_sim::{GpuSpec, OogConfig};
@@ -31,23 +47,141 @@ use srgemm::semiring::Semiring;
 
 use crate::fw_blocked::DiagMethod;
 
-/// Which distributed algorithm to run.
+/// Iteration-ordering axis: how OuterUpdate(k) relates to the (k+1)-th
+/// diag/panel phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Algorithm 3: each iteration runs its five phases to completion
+    /// before the next starts.
+    BulkSync,
+    /// Algorithm 4: the (k+1)-th panels are brought up to date and
+    /// broadcast *before* the bulk OuterUpdate(k), so the broadcast is in
+    /// flight while the outer product grinds (§3.1–3.2).
+    LookAhead,
+}
+
+impl Schedule {
+    /// Both schedules, bulk-synchronous first.
+    pub fn all() -> [Schedule; 2] {
+        [Schedule::BulkSync, Schedule::LookAhead]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::BulkSync => "BulkSync",
+            Schedule::LookAhead => "LookAhead",
+        }
+    }
+}
+
+/// Panel-broadcast axis: how the k-th panels travel along the process
+/// rows/columns. The latency-critical DiagBcast always uses the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanelBcastAlgo {
+    /// Binomial tree (the library broadcast of Algorithm 3).
+    Tree,
+    /// Pipelined ring split into `chunks` pieces (§3.3) — bandwidth-optimal
+    /// for the large panels, and lets iterations drift apart.
+    Ring {
+        /// Number of chunks each panel is split into.
+        chunks: usize,
+    },
+}
+
+impl PanelBcastAlgo {
+    /// Short display name (chunk count elided).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PanelBcastAlgo::Tree => "Tree",
+            PanelBcastAlgo::Ring { .. } => "Ring",
+        }
+    }
+}
+
+/// Outer-product execution axis: selects which [`OuterExec`] implementation
+/// the driver instantiates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exec {
+    /// [`InCoreGemm`]: the local matrix stays in (simulated GPU) core and
+    /// the OuterUpdate is one in-memory GEMM.
+    InCoreGemm,
+    /// [`GpuOffload`]: the local matrix is host-resident and the
+    /// OuterUpdate is staged through the capacity-limited device by
+    /// `ooGSrGemm` (§4.3) — `Me-ParallelFw`'s memory model.
+    GpuOffload,
+}
+
+impl Exec {
+    /// Both execution policies, in-core first.
+    pub fn all() -> [Exec; 2] {
+        [Exec::InCoreGemm, Exec::GpuOffload]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Exec::InCoreGemm => "InCore",
+            Exec::GpuOffload => "GpuOffload",
+        }
+    }
+}
+
+/// Why a distributed run could not complete. Returned (never panicked)
+/// through [`distributed_apsp_on`] and the convenience drivers so callers —
+/// the CLI in particular — can report the failure and exit cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistError {
+    /// The offload executor's panels plus tile buffers exceed simulated
+    /// device memory — the hard wall `Me-ParallelFw` hits when the block
+    /// size is chosen absurdly large (shrink `b` or the oog tile buffers).
+    DeviceOom {
+        /// Bytes the device would need to hold.
+        requested: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::DeviceOom { requested, available } => write!(
+                f,
+                "offload panels do not fit on the device: need {requested} B, \
+                 have {available} B (shrink the block size or the oog tile buffers)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Default ring chunk count for the functional (test-scale) runs; the
+/// Summit-scale schedules use deeper pipelining (see
+/// [`crate::schedule::ScheduleConfig`]).
+pub const DEFAULT_RING_CHUNKS: usize = 4;
+
+/// Named presets over the policy cube, in the paper's legend order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Variant {
-    /// Algorithm 3: bulk-synchronous ParallelFw.
+    /// Algorithm 3: BulkSync + Tree + InCoreGemm.
     Baseline,
-    /// Algorithm 4: pipelined ParallelFw (look-ahead update).
+    /// Algorithm 4: LookAhead + Tree + InCoreGemm.
     Pipelined,
-    /// Pipelined + ring PanelBcast (`Co-ParallelFw`'s `+Async` legend).
+    /// `Co-ParallelFw`'s `+Async` legend: LookAhead + Ring + InCoreGemm.
     AsyncRing,
-    /// `Me-ParallelFw`: host-resident matrix, GPU offload outer product.
+    /// `Me-ParallelFw` as published standalone: BulkSync + Tree + GpuOffload.
     Offload,
+    /// The composed Co+Me system: LookAhead + Ring + GpuOffload — the
+    /// configuration that reaches n = 1.66M at ~50% of peak in Fig. 7.
+    CoMe,
 }
 
 impl Variant {
-    /// All variants, in the paper's legend order.
-    pub fn all() -> [Variant; 4] {
-        [Variant::Baseline, Variant::Pipelined, Variant::AsyncRing, Variant::Offload]
+    /// All presets, in the paper's legend order.
+    pub fn all() -> [Variant; 5] {
+        [Variant::Baseline, Variant::Pipelined, Variant::AsyncRing, Variant::Offload, Variant::CoMe]
     }
 
     /// Legend string used in the figure harnesses.
@@ -57,56 +191,94 @@ impl Variant {
             Variant::Pipelined => "Pipelined",
             Variant::AsyncRing => "+Async",
             Variant::Offload => "Offload",
+            Variant::CoMe => "Co+Me",
+        }
+    }
+
+    /// The (schedule, bcast, exec) triple this preset names. Ring presets
+    /// get [`DEFAULT_RING_CHUNKS`]; override the chunk count on the config.
+    pub fn axes(&self) -> (Schedule, PanelBcastAlgo, Exec) {
+        let ring = PanelBcastAlgo::Ring { chunks: DEFAULT_RING_CHUNKS };
+        match self {
+            Variant::Baseline => (Schedule::BulkSync, PanelBcastAlgo::Tree, Exec::InCoreGemm),
+            Variant::Pipelined => (Schedule::LookAhead, PanelBcastAlgo::Tree, Exec::InCoreGemm),
+            Variant::AsyncRing => (Schedule::LookAhead, ring, Exec::InCoreGemm),
+            Variant::Offload => (Schedule::BulkSync, PanelBcastAlgo::Tree, Exec::GpuOffload),
+            Variant::CoMe => (Schedule::LookAhead, ring, Exec::GpuOffload),
+        }
+    }
+
+    /// The preset naming an axis triple, if any (chunk counts are ignored).
+    /// Three corners of the 2×2×2 cube are unnamed and return `None`.
+    pub fn from_axes(schedule: Schedule, bcast: PanelBcastAlgo, exec: Exec) -> Option<Variant> {
+        let ring = matches!(bcast, PanelBcastAlgo::Ring { .. });
+        match (schedule, ring, exec) {
+            (Schedule::BulkSync, false, Exec::InCoreGemm) => Some(Variant::Baseline),
+            (Schedule::LookAhead, false, Exec::InCoreGemm) => Some(Variant::Pipelined),
+            (Schedule::LookAhead, true, Exec::InCoreGemm) => Some(Variant::AsyncRing),
+            (Schedule::BulkSync, false, Exec::GpuOffload) => Some(Variant::Offload),
+            (Schedule::LookAhead, true, Exec::GpuOffload) => Some(Variant::CoMe),
+            _ => None,
+        }
+    }
+
+    /// Legend for an arbitrary axis triple: the preset legend when one
+    /// exists, otherwise the composed `Schedule+Bcast+Exec` form.
+    pub fn legend_for(schedule: Schedule, bcast: PanelBcastAlgo, exec: Exec) -> String {
+        match Variant::from_axes(schedule, bcast, exec) {
+            Some(v) => v.legend().to_string(),
+            None => format!("{}+{}+{}", schedule.name(), bcast.name(), exec.name()),
         }
     }
 }
 
-/// Configuration for a distributed APSP run.
+/// Configuration for a distributed APSP run: the three policy axes plus the
+/// layout/kernel knobs they parameterize.
 #[derive(Clone, Copy, Debug)]
 pub struct FwConfig {
     /// Block size `b` of the block-cyclic distribution.
     pub block: usize,
-    /// Algorithm variant.
-    pub variant: Variant,
-    /// Ring-broadcast chunk count (AsyncRing only).
-    pub ring_chunks: usize,
+    /// Iteration-ordering axis.
+    pub schedule: Schedule,
+    /// Panel-broadcast axis.
+    pub bcast: PanelBcastAlgo,
+    /// Outer-product execution axis.
+    pub exec: Exec,
     /// How diagonal blocks are closed.
     pub diag: DiagMethod,
-    /// Device spec for the Offload variant (each rank gets one GPU).
+    /// Device spec for the GpuOffload executor (each rank gets one GPU).
     pub gpu_spec: GpuSpec,
-    /// ooGSrGemm tiling for the Offload variant.
+    /// ooGSrGemm tiling for the GpuOffload executor.
     pub oog: OogConfig,
 }
 
 impl FwConfig {
-    /// Defaults: 4-chunk ring, FW-closure diagonals, and a tiny test GPU
-    /// with 64×64 tile buffers on 3 streams (sized to fit
-    /// [`GpuSpec::test_tiny`]; production harnesses override both).
+    /// Preset constructor. Defaults: 4-chunk ring (where the preset uses
+    /// one), FW-closure diagonals, and a tiny test GPU with 64×64 tile
+    /// buffers on 3 streams (sized to fit [`GpuSpec::test_tiny`]; production
+    /// harnesses override both).
     pub fn new(block: usize, variant: Variant) -> Self {
+        let (schedule, bcast, exec) = variant.axes();
+        FwConfig::from_axes(block, schedule, bcast, exec)
+    }
+
+    /// Construct directly from an axis triple (any corner of the cube,
+    /// named or not).
+    pub fn from_axes(block: usize, schedule: Schedule, bcast: PanelBcastAlgo, exec: Exec) -> Self {
         FwConfig {
             block,
-            variant,
-            ring_chunks: 4,
+            schedule,
+            bcast,
+            exec,
             diag: DiagMethod::FwClosure,
             gpu_spec: GpuSpec::test_tiny(),
             oog: OogConfig::new(64, 64, 3),
         }
     }
-}
 
-/// How panels travel (tree vs ring), resolved from the variant.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum PanelBcast {
-    Tree,
-    Ring { chunks: usize },
-}
-
-impl FwConfig {
-    pub(crate) fn panel_bcast(&self) -> PanelBcast {
-        match self.variant {
-            Variant::AsyncRing => PanelBcast::Ring { chunks: self.ring_chunks },
-            _ => PanelBcast::Tree,
-        }
+    /// Legend string for this configuration's axis triple.
+    pub fn legend(&self) -> String {
+        Variant::legend_for(self.schedule, self.bcast, self.exec)
     }
 }
 
@@ -118,21 +290,21 @@ pub(crate) fn bcast_matrix<S: Semiring>(
     mine: Option<Matrix<S::Elem>>,
     rows: usize,
     cols: usize,
-    how: PanelBcast,
+    how: PanelBcastAlgo,
 ) -> Matrix<S::Elem> {
     let payload = mine.map(|m| {
         debug_assert_eq!((m.rows(), m.cols()), (rows, cols));
         m.as_slice().to_vec()
     });
     let data = match how {
-        PanelBcast::Tree => comm.bcast(root, payload),
-        PanelBcast::Ring { chunks } => comm.ring_bcast(root, payload, chunks),
+        PanelBcastAlgo::Tree => comm.bcast(root, payload),
+        PanelBcastAlgo::Ring { chunks } => comm.ring_bcast(root, payload, chunks),
     };
     assert_eq!(data.len(), rows * cols, "broadcast panel size mismatch");
     Matrix::from_vec(rows, cols, data)
 }
 
-/// Per-iteration context shared by the variant loops: the closed diagonal
+/// Per-iteration context shared by the driver loops: the closed diagonal
 /// broadcast to the k-th process row/column, then the panels to everyone.
 pub(crate) struct PanelSet<T> {
     /// `local_rows × b_k` column panel (`A(:,k)` restricted to my rows).
@@ -142,15 +314,15 @@ pub(crate) struct PanelSet<T> {
 }
 
 /// DiagUpdate + DiagBcast + PanelUpdate + PanelBcast for iteration `k` —
-/// identical in all variants (only the panel broadcast algorithm differs).
-/// On return the k-th strips of `a` are updated in place and every rank
-/// holds the broadcast panels.
+/// identical at every point of the policy cube (only the panel broadcast
+/// algorithm differs). On return the k-th strips of `a` are updated in
+/// place and every rank holds the broadcast panels.
 pub(crate) fn diag_and_panels<S: Semiring>(
     grid: &ProcessGrid,
     a: &mut DistMatrix<S::Elem>,
     k: usize,
     diag_method: DiagMethod,
-    how: PanelBcast,
+    how: PanelBcastAlgo,
 ) -> PanelSet<S::Elem> {
     use srgemm::closure::{fw_closure, fw_closure_squaring};
     use srgemm::panel::{panel_update_left, panel_update_right};
@@ -183,11 +355,11 @@ pub(crate) fn diag_and_panels<S: Semiring>(
         let _p = grid.grid.phase("DiagBcast");
         if a.owns_row(k) {
             let mine = a.owns_col(k).then(|| a.diag_block(k));
-            diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcast::Tree));
+            diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcastAlgo::Tree));
         }
         if a.owns_col(k) {
             let mine = a.owns_row(k).then(|| a.diag_block(k));
-            diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcast::Tree));
+            diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcastAlgo::Tree));
         }
     }
 
@@ -229,27 +401,62 @@ pub(crate) fn diag_and_panels<S: Semiring>(
     PanelSet { col_panel, row_panel }
 }
 
+/// Run the configured policy triple on this rank's share of an existing
+/// distributed matrix. Collective over `grid`. Returns the offload
+/// statistics when `cfg.exec` is [`Exec::GpuOffload`], `None` otherwise.
+pub fn run_on_grid<S: Semiring>(
+    grid: &ProcessGrid,
+    a: &mut DistMatrix<S::Elem>,
+    cfg: &FwConfig,
+) -> Result<Option<OffloadStats>, DistError> {
+    match cfg.exec {
+        Exec::InCoreGemm => {
+            driver::run::<S, _>(grid, a, cfg, &mut InCoreGemm)?;
+            Ok(None)
+        }
+        Exec::GpuOffload => {
+            // The preflight is deterministic in (n, b, pr, pc), so every
+            // rank of the grid agrees on feasibility and the error path
+            // never strands a peer inside a collective.
+            let mut exec = GpuOffload::preflight::<S>(cfg, a.n, a.pr, a.pc)?;
+            driver::run::<S, _>(grid, a, cfg, &mut exec)?;
+            Ok(Some(exec.stats()))
+        }
+    }
+}
+
 /// Run distributed APSP on an existing communicator (one call per rank,
 /// SPMD). `global` must be identical on every rank; each rank slices its
-/// own share. The result is gathered to grid rank 0.
+/// own share. The result is gathered to grid rank 0 (`Ok(Some)` there,
+/// `Ok(None)` elsewhere).
 pub fn distributed_apsp_on<S: Semiring>(
     comm: Comm,
     pr: usize,
     pc: usize,
     cfg: &FwConfig,
     global: &Matrix<S::Elem>,
-) -> Option<Matrix<S::Elem>> {
+) -> Result<Option<Matrix<S::Elem>>, DistError> {
     let grid = ProcessGrid::new(comm, pr, pc);
     let (my_r, my_c) = grid.coords();
     let mut a = DistMatrix::from_global(global, cfg.block, pr, pc, my_r, my_c);
-    match cfg.variant {
-        Variant::Baseline => baseline::run::<S>(&grid, &mut a, cfg),
-        Variant::Pipelined | Variant::AsyncRing => pipelined::run::<S>(&grid, &mut a, cfg),
-        Variant::Offload => {
-            offload::run::<S>(&grid, &mut a, cfg);
+    run_on_grid::<S>(&grid, &mut a, cfg)?;
+    Ok(a.gather(&grid))
+}
+
+/// Fold the per-rank results of an SPMD run into the root's matrix: the
+/// first rank-level error wins; a run in which no rank gathered anything
+/// (possible only for degenerate inputs) yields the empty matrix instead of
+/// aborting.
+fn collect_root<S: Semiring>(
+    results: Vec<Result<Option<Matrix<S::Elem>>, DistError>>,
+) -> Result<Matrix<S::Elem>, DistError> {
+    let mut root = None;
+    for r in results {
+        if let Some(m) = r? {
+            root = Some(m);
         }
     }
-    a.gather(&grid)
+    Ok(root.unwrap_or_else(|| Matrix::from_vec(0, 0, Vec::new())))
 }
 
 /// Convenience driver: spin up `pr·pc` ranks, run
@@ -261,7 +468,7 @@ pub fn distributed_apsp<S: Semiring>(
     cfg: &FwConfig,
     global: &Matrix<S::Elem>,
     placement: Option<Placement>,
-) -> (Matrix<S::Elem>, TrafficReport) {
+) -> Result<(Matrix<S::Elem>, TrafficReport), DistError> {
     let mut rt = Runtime::new(pr * pc);
     if let Some(p) = placement {
         rt = rt.with_placement(p);
@@ -270,12 +477,7 @@ pub fn distributed_apsp<S: Semiring>(
     let (results, traffic) = rt.run_traced(move |comm| {
         distributed_apsp_on::<S>(comm, pr, pc, &cfg, global)
     });
-    let gathered = results
-        .into_iter()
-        .flatten()
-        .next()
-        .expect("grid rank 0 gathers the result");
-    (gathered, traffic)
+    Ok((collect_root::<S>(results)?, traffic))
 }
 
 /// Like [`distributed_apsp`] but additionally records the per-rank,
@@ -288,7 +490,7 @@ pub fn distributed_apsp_traced<S: Semiring>(
     cfg: &FwConfig,
     global: &Matrix<S::Elem>,
     placement: Option<Placement>,
-) -> (Matrix<S::Elem>, TrafficReport, RunTrace) {
+) -> Result<(Matrix<S::Elem>, TrafficReport, RunTrace), DistError> {
     let mut rt = Runtime::new(pr * pc);
     if let Some(p) = placement {
         rt = rt.with_placement(p);
@@ -297,10 +499,5 @@ pub fn distributed_apsp_traced<S: Semiring>(
     let (results, traffic, trace) = rt.run_with_trace(move |comm| {
         distributed_apsp_on::<S>(comm, pr, pc, &cfg, global)
     });
-    let gathered = results
-        .into_iter()
-        .flatten()
-        .next()
-        .expect("grid rank 0 gathers the result");
-    (gathered, traffic, trace)
+    Ok((collect_root::<S>(results)?, traffic, trace))
 }

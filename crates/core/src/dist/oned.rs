@@ -115,7 +115,8 @@ mod tests {
         let (_, t1d) = rt.run_traced(|comm| oned_apsp::<MinPlusF32>(&comm, &input));
 
         let cfg = crate::dist::FwConfig::new(8, crate::dist::Variant::Baseline);
-        let (_, t2d) = crate::dist::distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+        let (_, t2d) =
+            crate::dist::distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("2-D run");
 
         assert!(
             t1d.total_msgs > t2d.total_msgs,

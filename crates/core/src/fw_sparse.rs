@@ -1,5 +1,5 @@
 //! Block-sparse Floyd-Warshall — the §7 "structured sparse graphs"
-//! direction (supernodal APSP, the paper's reference [31]).
+//! direction (supernodal APSP, the paper's reference \[31\]).
 //!
 //! Same three-phase structure as Algorithm 2, but each phase touches only
 //! *materialized* blocks:

@@ -1,6 +1,6 @@
 //! Incremental Floyd-Warshall — the paper's §7 future-work item
 //! ("we plan to extend this work to support … incremental Floyd-Warshall,
-//! which [is] critical in applications").
+//! which \[is\] critical in applications").
 //!
 //! Given a solved distance matrix, an edge insertion or weight *decrease*
 //! `(u, v, w)` is absorbed in `O(n²)`: every pair `(i, j)` can only improve

@@ -6,25 +6,31 @@
 //! Multi-GPU Clusters* (Sao et al., HPDC 2021) as a Rust library. The
 //! paper's algorithms, bottom-up:
 //!
-//! * [`fw_seq`] — Algorithm 1, the classic `O(n³)` triple loop (plus a
-//!   predecessor-tracking variant for path reconstruction).
-//! * [`fw_blocked`] — Algorithm 2: DiagUpdate / PanelUpdate / MinPlus outer
-//!   product over `b×b` blocks, with the diagonal closed either by
-//!   Floyd-Warshall or by the repeated-squaring Neumann form (Eq. 4).
-//! * [`dist`] — the distributed variants over the [`mpi_sim`] runtime:
-//!   - [`dist::Variant::Baseline`] — Algorithm 3 (bulk-synchronous, tree
-//!     broadcasts),
-//!   - [`dist::Variant::Pipelined`] — Algorithm 4 (look-ahead update,
-//!     panel broadcast overlapped with the outer product),
-//!   - [`dist::Variant::AsyncRing`] — pipelined + bandwidth-optimal ring
-//!     `PanelBcast` (§3.3),
-//!   - [`dist::Variant::Offload`] — `Me-ParallelFw`: the local matrix lives
-//!     in host memory and the outer product is staged through a simulated
-//!     GPU by `ooGSrGemm` (§4.3).
+//! * [`fw_seq`](mod@fw_seq) — Algorithm 1, the classic `O(n³)` triple loop
+//!   (plus a predecessor-tracking variant for path reconstruction).
+//! * [`fw_blocked`](mod@fw_blocked) — Algorithm 2: DiagUpdate / PanelUpdate
+//!   / MinPlus outer product over `b×b` blocks, with the diagonal closed
+//!   either by Floyd-Warshall or by the repeated-squaring Neumann form
+//!   (Eq. 4).
+//! * [`dist`] — the distributed algorithms over the [`mpi_sim`] runtime,
+//!   spanned by three orthogonal policy axes rather than a closed variant
+//!   list:
+//!   - [`dist::Schedule`] — bulk-synchronous (Algorithm 3) vs look-ahead
+//!     pipelined (Algorithm 4),
+//!   - [`dist::PanelBcastAlgo`] — binomial tree vs the bandwidth-optimal
+//!     pipelined ring `PanelBcast` (§3.3),
+//!   - [`dist::Exec`] — in-core GEMM vs `Me-ParallelFw`'s host-resident
+//!     offload through a simulated GPU by `ooGSrGemm` (§4.3).
+//!
+//!   [`dist::Variant`] names the paper's legends as presets over the cube —
+//!   `Baseline`, `Pipelined`, `+Async`, `Offload`, and the composed
+//!   [`dist::Variant::CoMe`] (`Co+Me`: look-ahead + ring + offload, the
+//!   Fig. 7 configuration that reaches n = 1.66M).
 //! * [`model`] — the paper's performance models: Eq. 1, the §3.4.1
 //!   communication-volume lower bound, Eq. 5, and the §5.1.3 metrics.
-//! * [`schedule`] — lowers each variant to a [`cluster_sim`] task DAG at
-//!   Summit scale; this is what regenerates the paper's Figs. 3–4 and 7–9.
+//! * [`schedule`] — lowers any policy triple to a [`cluster_sim`] task DAG
+//!   at Summit scale; this is what regenerates the paper's Figs. 3–4 and
+//!   7–9.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +57,9 @@ pub mod paths_dist;
 pub mod schedule;
 pub mod verify;
 
-pub use dist::{distributed_apsp, distributed_apsp_traced, FwConfig, Variant};
+pub use dist::{
+    distributed_apsp, distributed_apsp_traced, DistError, Exec, FwConfig, PanelBcastAlgo,
+    Schedule, Variant,
+};
 pub use fw_blocked::{fw_blocked, DiagMethod};
 pub use fw_seq::{fw_seq, fw_seq_with_paths};

@@ -174,7 +174,7 @@ mod tests {
 
         for variant in Variant::all() {
             let cfg = FwConfig::new(5, variant);
-            let (annotated, _) = distributed_apsp::<S>(2, 2, &cfg, &input, None);
+            let (annotated, _) = distributed_apsp::<S>(2, 2, &cfg, &input, None).expect("run");
             let (d, pred) = split(&annotated);
             assert!(want.eq_exact(&d), "{variant:?} distances");
             for s in 0..20 {

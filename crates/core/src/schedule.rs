@@ -16,7 +16,7 @@
 
 use cluster_sim::{chrome_trace, Cluster, MachineSpec, Schedule, TaskId};
 
-use crate::dist::Variant;
+use crate::dist::{Exec, PanelBcastAlgo, Schedule as FwSchedule, Variant};
 use crate::model;
 
 /// Priorities: look-ahead work preempts (among simultaneously-ready tasks)
@@ -33,35 +33,65 @@ pub struct ScheduleConfig {
     pub n: usize,
     /// Block size `b` (the paper tunes 768).
     pub block: usize,
-    /// Algorithm variant.
-    pub variant: Variant,
+    /// Iteration-schedule axis (Algorithm 3 vs Algorithm 4).
+    pub schedule: FwSchedule,
+    /// PanelBcast algorithm axis (tree vs pipelined ring).
+    pub bcast: PanelBcastAlgo,
+    /// OuterUpdate execution axis (in-core vs host-resident offload).
+    pub exec: Exec,
     /// Node-grid shape (`K_r`, `K_c`) — the placement's fingerprint.
     pub kr: usize,
     /// Node-grid shape.
     pub kc: usize,
     /// Element size (4 for the paper's f32).
     pub elem_bytes: usize,
-    /// Ring-broadcast chunks (AsyncRing only).
-    pub ring_chunks: usize,
-    /// Streams available to the offload pipeline (Offload only).
+    /// Streams available to the offload pipeline (GpuOffload exec only).
     pub oog_streams: usize,
 }
 
 impl ScheduleConfig {
-    /// Paper-default tuning: `b = 768`, deeply pipelined 16-chunk rings
-    /// (the ring's bandwidth optimality needs chunk_count ≫ ring length to
-    /// amortize the fill latency), 3 offload streams.
+    /// Paper-default tuning for a named preset: `b = 768`, deeply pipelined
+    /// 16-chunk rings (the ring's bandwidth optimality needs
+    /// chunk_count ≫ ring length to amortize the fill latency), 3 offload
+    /// streams.
     pub fn new(n: usize, variant: Variant, kr: usize, kc: usize) -> Self {
+        let (schedule, bcast, exec) = variant.axes();
+        Self::with_axes(n, schedule, bcast, exec, kr, kc)
+    }
+
+    /// Build directly from a policy triple (same tuning defaults as
+    /// [`ScheduleConfig::new`]). A `Ring` still carrying the functional
+    /// test-scale default chunk count is deepened to 16; an explicitly
+    /// tuned chunk count is kept.
+    pub fn with_axes(
+        n: usize,
+        schedule: FwSchedule,
+        mut bcast: PanelBcastAlgo,
+        exec: Exec,
+        kr: usize,
+        kc: usize,
+    ) -> Self {
+        if let PanelBcastAlgo::Ring { chunks } = &mut bcast {
+            if *chunks == crate::dist::DEFAULT_RING_CHUNKS {
+                *chunks = 16;
+            }
+        }
         ScheduleConfig {
             n,
             block: 768,
-            variant,
+            schedule,
+            bcast,
+            exec,
             kr,
             kc,
             elem_bytes: 4,
-            ring_chunks: 16,
             oog_streams: 3,
         }
+    }
+
+    /// Paper legend for this configuration's policy triple.
+    pub fn legend(&self) -> String {
+        Variant::legend_for(self.schedule, self.bcast, self.exec)
     }
 }
 
@@ -220,8 +250,8 @@ pub fn simulate_oned(spec: &MachineSpec, n: usize, elem_bytes: usize) -> SimOutc
 /// Memory feasibility (paper Fig. 7's wall).
 fn check_memory(spec: &MachineSpec, cfg: &ScheduleConfig) -> Result<(), Infeasible> {
     let n2 = cfg.n as f64 * cfg.n as f64;
-    match cfg.variant {
-        Variant::Offload => {
+    match cfg.exec {
+        Exec::GpuOffload => {
             // host-resident: local share must fit in node DRAM
             let per_node = n2 * cfg.elem_bytes as f64 / spec.nodes as f64;
             let usable = 0.9 * spec.host_mem_bytes as f64;
@@ -235,7 +265,7 @@ fn check_memory(spec: &MachineSpec, cfg: &ScheduleConfig) -> Result<(), Infeasib
                 });
             }
         }
-        _ => {
+        Exec::InCoreGemm => {
             let max_n = model::max_vertices_in_gpu_memory(spec, cfg.elem_bytes);
             if cfg.n > max_n {
                 return Err(Infeasible {
@@ -333,14 +363,17 @@ fn panel_bcasts(
     // per-node panel shares
     let row_share = cfg.block as f64 * (cfg.n as f64 / cfg.kc as f64) * eb;
     let col_share = cfg.block as f64 * (cfg.n as f64 / cfg.kr as f64) * eb;
-    let use_ring = matches!(cfg.variant, Variant::AsyncRing);
+    let ring_chunks = match cfg.bcast {
+        PanelBcastAlgo::Ring { chunks } => Some(chunks),
+        PanelBcastAlgo::Tree => None,
+    };
 
     let mut row_arrival = vec![None; nodes];
     for c in 0..cfg.kc {
         let members: Vec<usize> = (0..cfg.kr).map(|r| node_at(cfg, r, c)).collect();
         let dep = [row_panel_ready[c]];
-        let arr = if use_ring {
-            ring_bcast(cl, &members, krow, row_share, cfg.ring_chunks, PRI_PANEL, &dep)
+        let arr = if let Some(chunks) = ring_chunks {
+            ring_bcast(cl, &members, krow, row_share, chunks, PRI_PANEL, &dep)
         } else {
             tree_bcast(cl, &members, krow, row_share, PRI_PANEL, &dep)
         };
@@ -352,8 +385,8 @@ fn panel_bcasts(
     for r in 0..cfg.kr {
         let members: Vec<usize> = (0..cfg.kc).map(|c| node_at(cfg, r, c)).collect();
         let dep = [col_panel_ready[r]];
-        let arr = if use_ring {
-            ring_bcast(cl, &members, kcol, col_share, cfg.ring_chunks, PRI_PANEL, &dep)
+        let arr = if let Some(chunks) = ring_chunks {
+            ring_bcast(cl, &members, kcol, col_share, chunks, PRI_PANEL, &dep)
         } else {
             tree_bcast(cl, &members, kcol, col_share, PRI_PANEL, &dep)
         };
@@ -429,8 +462,8 @@ fn outer_task(cl: &mut Cluster, cfg: &ScheduleConfig, node: usize, deps: &[TaskI
     let n_loc = cfg.n as f64 / cfg.kc as f64;
     let b = cfg.block as f64;
     let flops = 2.0 * m_loc * n_loc * b;
-    match cfg.variant {
-        Variant::Offload => {
+    match cfg.exec {
+        Exec::GpuOffload => {
             // §4.5 pipeline bound at node granularity
             let spec = cl.spec;
             let eb = cfg.elem_bytes as f64;
@@ -447,7 +480,7 @@ fn outer_task(cl: &mut Cluster, cfg: &ScheduleConfig, node: usize, deps: &[TaskI
             // charge the equivalent flops so utilization stays meaningful
             cl.gpu_task(node, dur * gpu_rate, PRI_OUTER, deps)
         }
-        _ => cl.gpu_task(node, flops, PRI_OUTER, deps),
+        Exec::InCoreGemm => cl.gpu_task(node, flops, PRI_OUTER, deps),
     }
 }
 
@@ -455,7 +488,7 @@ fn outer_task(cl: &mut Cluster, cfg: &ScheduleConfig, node: usize, deps: &[TaskI
 fn build_dag(cl: &mut Cluster, cfg: &ScheduleConfig) {
     let nodes = cfg.kr * cfg.kc;
     let nb = cfg.n.div_ceil(cfg.block);
-    let bulk_sync = matches!(cfg.variant, Variant::Baseline | Variant::Offload);
+    let bulk_sync = cfg.schedule == FwSchedule::BulkSync;
 
     if bulk_sync {
         // ---- Algorithm 3 shape: strict phases with an iteration barrier ----
@@ -548,6 +581,28 @@ mod tests {
             }
             assert!(json.contains("\"gpu0\"") && json.contains("\"nic3\""), "resource names");
         }
+    }
+
+    #[test]
+    fn come_hides_panel_bcast_behind_outer_update() {
+        // Beyond the in-GPU-memory wall, only the offload execs are
+        // feasible; composing look-ahead + ring onto offload (Co+Me) must
+        // strictly beat bulk-synchronous offload because PanelBcast(k+1)
+        // now overlaps OuterUpdate(k) instead of extending the critical
+        // path.
+        let spec = MachineSpec::summit(4);
+        let n = 400_000;
+        assert!(n > model::max_vertices_in_gpu_memory(&spec, 4), "test must sit beyond the memory wall");
+        let ofl = simulate(&spec, &ScheduleConfig::new(n, Variant::Offload, 2, 2)).expect("offload feasible");
+        let come = simulate(&spec, &ScheduleConfig::new(n, Variant::CoMe, 2, 2)).expect("Co+Me feasible");
+        assert!(
+            come.seconds < ofl.seconds,
+            "Co+Me ({:.2}s) should beat bulk-sync offload ({:.2}s)",
+            come.seconds,
+            ofl.seconds
+        );
+        // and the in-core schedules must remain infeasible here
+        assert!(simulate(&spec, &ScheduleConfig::new(n, Variant::Pipelined, 2, 2)).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! family must reproduce sequential Floyd-Warshall bit-for-bit — the §5.1
 //! validation methodology of the paper.
 
-use apsp_core::dist::{distributed_apsp, FwConfig, Variant};
+use apsp_core::dist::{distributed_apsp, DistError, FwConfig, PanelBcastAlgo, Variant};
 use apsp_core::fw_seq::fw_seq;
 use apsp_core::verify::assert_matrices_equal;
 use apsp_graph::generators::{self, GraphKind, WeightKind};
@@ -22,7 +22,7 @@ fn all_variants_match_sequential_on_dense_graph() {
     let (input, want) = reference(36, GraphKind::UniformDense, 101);
     for variant in Variant::all() {
         let cfg = FwConfig::new(6, variant);
-        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, variant.legend());
     }
 }
@@ -32,7 +32,7 @@ fn all_variants_match_on_sparse_multi_component_graph() {
     let (input, want) = reference(30, GraphKind::MultiComponent { components: 3 }, 55);
     for variant in Variant::all() {
         let cfg = FwConfig::new(5, variant);
-        let (got, _) = distributed_apsp::<MinPlusF32>(2, 3, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<MinPlusF32>(2, 3, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, variant.legend());
     }
 }
@@ -43,7 +43,7 @@ fn rectangular_grids_and_ragged_blocks() {
     let (input, want) = reference(29, GraphKind::ErdosRenyi { p: 0.2 }, 77);
     for (pr, pc) in [(1, 1), (1, 4), (4, 1), (2, 3), (3, 2)] {
         let cfg = FwConfig::new(4, Variant::Baseline);
-        let (got, _) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, &format!("grid {pr}x{pc}"));
     }
 }
@@ -54,7 +54,7 @@ fn pipelined_handles_every_block_count_parity() {
     for n in [6, 12, 18, 30] {
         let (input, want) = reference(n, GraphKind::UniformDense, n as u64);
         let cfg = FwConfig::new(6, Variant::Pipelined);
-        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, &format!("n={n}"));
     }
 }
@@ -64,8 +64,8 @@ fn async_ring_matches_with_various_chunk_counts() {
     let (input, want) = reference(32, GraphKind::UniformDense, 33);
     for chunks in [1, 2, 7, 64] {
         let mut cfg = FwConfig::new(4, Variant::AsyncRing);
-        cfg.ring_chunks = chunks;
-        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+        cfg.bcast = PanelBcastAlgo::Ring { chunks };
+        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, &format!("chunks={chunks}"));
     }
 }
@@ -76,7 +76,7 @@ fn squaring_diag_method_matches_in_distributed_runs() {
     let (input, want) = reference(24, GraphKind::UniformDense, 9);
     let mut cfg = FwConfig::new(4, Variant::Pipelined);
     cfg.diag = DiagMethod::Squaring;
-    let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+    let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
     assert_matrices_equal(&want, &got, "squaring diag");
 }
 
@@ -87,7 +87,7 @@ fn offload_matches_with_tiny_tiles_and_single_stream() {
     for streams in [1, 2, 3] {
         let mut cfg = FwConfig::new(4, Variant::Offload);
         cfg.oog = OogConfig::new(5, 3, streams);
-        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, &format!("offload s={streams}"));
     }
 }
@@ -97,7 +97,7 @@ fn single_rank_degenerate_grid_works() {
     let (input, want) = reference(20, GraphKind::UniformDense, 21);
     for variant in Variant::all() {
         let cfg = FwConfig::new(7, variant);
-        let (got, _) = distributed_apsp::<MinPlusF32>(1, 1, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<MinPlusF32>(1, 1, &cfg, &input, None).expect("run");
         assert_matrices_equal(&want, &got, variant.legend());
     }
 }
@@ -107,7 +107,7 @@ fn more_ranks_than_blocks_leaves_idle_ranks_consistent() {
     // nb = 2 < pr·pc ranks: some ranks own nothing
     let (input, want) = reference(8, GraphKind::UniformDense, 3);
     let cfg = FwConfig::new(4, Variant::Baseline);
-    let (got, _) = distributed_apsp::<MinPlusF32>(3, 3, &cfg, &input, None);
+    let (got, _) = distributed_apsp::<MinPlusF32>(3, 3, &cfg, &input, None).expect("run");
     assert_matrices_equal(&want, &got, "idle ranks");
 }
 
@@ -122,7 +122,7 @@ fn square_node_grid_reduces_max_node_nic_volume() {
     let (input, want) = reference(64, GraphKind::UniformDense, 71);
     let cfg = FwConfig::new(4, Variant::AsyncRing);
     let run = |placement: Placement| {
-        let (got, traffic) = distributed_apsp::<MinPlusF32>(16, 4, &cfg, &input, Some(placement));
+        let (got, traffic) = distributed_apsp::<MinPlusF32>(16, 4, &cfg, &input, Some(placement)).expect("run");
         assert_matrices_equal(&want, &got, "placement");
         traffic.max_node_nic_bytes()
     };
@@ -143,7 +143,7 @@ fn measured_nic_volume_respects_the_section_341_lower_bound() {
     let (input, _) = reference(n, GraphKind::UniformDense, 5);
     let cfg = FwConfig::new(6, Variant::AsyncRing);
     let placement = Placement::tiled(4, 4, 2, 2); // Kr = Kc = 2
-    let (_, traffic) = distributed_apsp::<MinPlusF32>(4, 4, &cfg, &input, Some(placement));
+    let (_, traffic) = distributed_apsp::<MinPlusF32>(4, 4, &cfg, &input, Some(placement)).expect("run");
     let bound = apsp_core::model::comm_lower_bound_bytes(n, 2, 2, 4);
     let measured = traffic.max_node_nic_bytes() as f64;
     assert!(
@@ -168,11 +168,57 @@ fn works_for_transitive_closure_semiring() {
     let mut want = input.clone();
     fw_seq::<BoolOr>(&mut want);
     let cfg = FwConfig::new(3, Variant::Pipelined);
-    let (got, _) = distributed_apsp::<BoolOr>(2, 2, &cfg, &input, None);
+    let (got, _) = distributed_apsp::<BoolOr>(2, 2, &cfg, &input, None).expect("run");
     for i in 0..n {
         for j in 0..n {
             assert_eq!(got[(i, j)], want[(i, j)]);
             assert!(got[(i, j)]);
         }
     }
+}
+
+#[test]
+fn empty_graph_returns_empty_matrix_on_every_grid() {
+    // regression: the gather path used to unwrap rank 0's result with an
+    // `.expect`; n = 0 must come back as a clean 0×0 matrix instead
+    let input = Matrix::from_vec(0, 0, Vec::<f32>::new());
+    for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
+        for variant in Variant::all() {
+            let cfg = FwConfig::new(4, variant);
+            let (got, traffic) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None)
+                .unwrap_or_else(|e| panic!("{} on {pr}x{pc}: {e}", variant.legend()));
+            assert_eq!((got.rows(), got.cols()), (0, 0), "{} on {pr}x{pc}", variant.legend());
+            assert_eq!(traffic.total_nic_bytes(), 0);
+        }
+    }
+}
+
+#[test]
+fn device_oom_surfaces_as_typed_error_not_panic() {
+    // a device too small for even one panel pair: preflight must reject the
+    // run on every rank and the driver must hand back DeviceOom, not abort
+    let (input, _) = reference(24, GraphKind::UniformDense, 17);
+    for variant in [Variant::Offload, Variant::CoMe] {
+        let mut cfg = FwConfig::new(4, variant);
+        cfg.gpu_spec.mem_bytes = 64;
+        let err = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None)
+            .expect_err("64-byte device cannot fit the panels");
+        let DistError::DeviceOom { requested, available } = err;
+        assert_eq!(available, 64);
+        assert!(requested > available, "requested {requested} must exceed {available}");
+    }
+}
+
+#[test]
+fn come_composes_offload_with_ring_and_lookahead() {
+    use apsp_core::dist::{Exec, Schedule};
+    let (schedule, bcast, exec) = Variant::CoMe.axes();
+    assert_eq!(schedule, Schedule::LookAhead);
+    assert!(matches!(bcast, PanelBcastAlgo::Ring { .. }));
+    assert_eq!(exec, Exec::GpuOffload);
+
+    let (input, want) = reference(30, GraphKind::UniformDense, 91);
+    let cfg = FwConfig::new(4, Variant::CoMe);
+    let (got, _) = distributed_apsp::<MinPlusF32>(2, 3, &cfg, &input, None).expect("run");
+    assert_matrices_equal(&want, &got, "Co+Me");
 }

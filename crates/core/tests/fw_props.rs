@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use apsp_core::dist::{distributed_apsp, FwConfig, Variant};
+use apsp_core::dist::{
+    distributed_apsp, Exec, FwConfig, PanelBcastAlgo, Schedule, Variant, DEFAULT_RING_CHUNKS,
+};
 use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
 use apsp_core::fw_seq::fw_seq;
 use apsp_core::incremental::decrease_edge;
@@ -66,22 +68,49 @@ proptest! {
     }
 
     #[test]
-    fn distributed_variants_match_on_random_configs(
+    fn distributed_policy_cube_matches_on_random_configs(
         n in 4usize..28,
         b in 2usize..10,
         grid_pick in 0usize..4,
-        variant_pick in 0usize..4,
+        schedule_pick in 0usize..2,
+        bcast_pick in 0usize..2,
+        exec_pick in 0usize..2,
+        chunks in 1usize..9,
         seed in any::<u64>(),
     ) {
+        // the full 2×2×2 policy cube — every (schedule, bcast, exec) triple,
+        // named preset or not, must reproduce fw_seq bit-for-bit
         let (pr, pc) = [(1, 2), (2, 2), (2, 3), (3, 1)][grid_pick];
-        let variant = Variant::all()[variant_pick];
+        let schedule = Schedule::all()[schedule_pick];
+        let bcast = [PanelBcastAlgo::Tree, PanelBcastAlgo::Ring { chunks }][bcast_pick];
+        let exec = Exec::all()[exec_pick];
         let g = erdos_renyi(n, 0.3, WeightKind::small_ints(), seed);
         let input = g.to_dense();
         let mut want = input.clone();
         fw_seq::<MinPlusF32>(&mut want);
-        let cfg = FwConfig::new(b, variant);
-        let (got, _) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None);
-        prop_assert!(want.eq_exact(&got), "{:?} on {}x{} b={}", variant, pr, pc, b);
+        let cfg = FwConfig::from_axes(b, schedule, bcast, exec);
+        let (got, _) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None)
+            .expect("policy cube run");
+        prop_assert!(
+            want.eq_exact(&got),
+            "{}/{}/{} on {}x{} b={}",
+            schedule.name(), bcast.name(), exec.name(), pr, pc, b
+        );
+    }
+
+    #[test]
+    fn presets_round_trip_through_the_axes(variant_pick in 0usize..5, chunks in 1usize..64) {
+        let variant = Variant::all()[variant_pick];
+        let (schedule, bcast, exec) = variant.axes();
+        prop_assert_eq!(Variant::from_axes(schedule, bcast, exec), Some(variant));
+        // chunk count is a tuning knob, not part of the preset's identity
+        if let PanelBcastAlgo::Ring { .. } = bcast {
+            let retuned = PanelBcastAlgo::Ring { chunks };
+            prop_assert_eq!(Variant::from_axes(schedule, retuned, exec), Some(variant));
+        }
+        // unnamed corners of the cube stay unnamed
+        let ring = PanelBcastAlgo::Ring { chunks: DEFAULT_RING_CHUNKS };
+        prop_assert_eq!(Variant::from_axes(Schedule::BulkSync, ring, Exec::InCoreGemm), None);
     }
 
     #[test]

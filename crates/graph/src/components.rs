@@ -1,7 +1,7 @@
 //! Connected components and component-wise APSP.
 //!
 //! The paper (§2.1, §6): "On graphs with multiple components one may use
-//! graph connected-components algorithm [30], and perform Apsp on each
+//! graph connected-components algorithm \[30\], and perform Apsp on each
 //! connected component of the graph." No directed path crosses a *weak*
 //! component boundary, so solving each component independently and leaving
 //! `∞` across components is exact — and on a graph with `c` equal

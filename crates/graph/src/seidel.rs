@@ -1,5 +1,5 @@
 //! Seidel's algorithm for unweighted undirected APSP — related work §6
-//! ([35]: "Seidel showed a way to use fast matrix multiplication algorithms
+//! (\[35\]: "Seidel showed a way to use fast matrix multiplication algorithms
 //! … for the solution of the APSP problem by embedding the semiring into a
 //! ring").
 //!

@@ -2,7 +2,7 @@
 //!
 //! Support for the paper's §7 direction "add support of structured sparse
 //! graphs, where exploiting sparsity becomes paramount" (the supernodal
-//! APSP of Sao et al., PPoPP'20, reference [31]). The distance matrix is
+//! APSP of Sao et al., PPoPP'20, reference \[31\]). The distance matrix is
 //! tiled into `b × b` blocks and only blocks containing at least one
 //! non-`0̄` entry are materialized; an absent block is semantically the
 //! all-`0̄` (all-∞ for min-plus) block, which annihilates under ⊗ and is

@@ -11,13 +11,11 @@
 //!
 //! ## Layout
 //!
-//! * [`semiring`] — the [`Semiring`](semiring::Semiring) trait and instances
-//!   ([`MinPlus`](semiring::MinPlus), [`MaxMin`](semiring::MaxMin),
-//!   [`BoolOr`](semiring::BoolOr), [`MaxPlus`](semiring::MaxPlus),
-//!   [`RealArith`](semiring::RealArith)).
-//! * [`matrix`] — dense row-major [`Matrix`](matrix::Matrix) plus borrowed
-//!   strided [`View`](matrix::View)/[`ViewMut`](matrix::ViewMut) blocks.
-//! * [`gemm`] — `C ← C ⊕ A ⊗ B` kernels: naive, cache-blocked, and
+//! * [`semiring`] — the [`Semiring`] trait and instances ([`MinPlus`],
+//!   [`MaxMin`], [`BoolOr`], [`MaxPlus`], [`RealArith`]).
+//! * [`matrix`] — dense row-major [`Matrix`] plus borrowed strided
+//!   [`View`]/[`ViewMut`] blocks.
+//! * [`gemm`](mod@gemm) — `C ← C ⊕ A ⊗ B` kernels: naive, cache-blocked, and
 //!   rayon-parallel.
 //! * [`closure`] — in-place Floyd-Warshall closure of a block (the paper's
 //!   *DiagUpdate*) and the repeated-squaring Neumann-series form (Eq. 4).

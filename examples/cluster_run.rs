@@ -1,5 +1,5 @@
-//! Distributed APSP on the in-process cluster: runs all four ParallelFw
-//! variants on a thread-backed "MPI" with a 2×3 process grid spread over 3
+//! Distributed APSP on the in-process cluster: runs every ParallelFw
+//! preset on a thread-backed "MPI" with a 2×3 process grid spread over 3
 //! simulated nodes, verifies every result against sequential
 //! Floyd-Warshall, and prints the measured NIC traffic per variant —
 //! the functional counterpart of the paper's §5.2 experiments.
@@ -36,7 +36,8 @@ fn main() {
     for variant in Variant::all() {
         let cfg = FwConfig::new(40, variant);
         let (got, traffic) =
-            distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, Some(placement.clone()));
+            distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, Some(placement.clone()))
+                .unwrap_or_else(|e| panic!("{}: {e}", variant.legend()));
         assert_matrices_equal(&want, &got, variant.legend());
         println!(
             "{:<10} {:>14} {:>14} {:>14} {:>10}",

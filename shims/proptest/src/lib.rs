@@ -2,7 +2,7 @@
 //!
 //! The build environment cannot reach crates.io, so this provides the
 //! pieces the property tests rely on — the [`proptest!`] macro,
-//! [`prop_assert!`]-family macros, [`Strategy`] with `prop_map` /
+//! [`prop_assert!`]-family macros, [`Strategy`](strategy::Strategy) with `prop_map` /
 //! `prop_flat_map`, range and tuple strategies, [`prop_oneof!`],
 //! `collection::vec`, and `bool::weighted` — backed by a deterministic,
 //! seeded random sampler. Differences from real proptest: no shrinking and

@@ -24,7 +24,7 @@ fn distributed_widest_path_matches_sequential() {
     fw_seq::<WP>(&mut want);
     for variant in [Variant::Baseline, Variant::Pipelined, Variant::AsyncRing] {
         let cfg = FwConfig::new(6, variant);
-        let (got, _) = distributed_apsp::<WP>(2, 2, &cfg, &input, None);
+        let (got, _) = distributed_apsp::<WP>(2, 2, &cfg, &input, None).expect("run");
         assert!(want.eq_exact(&got), "{:?}", variant);
     }
 }

@@ -20,7 +20,7 @@ fn all_variants_match_sequential_fw_across_grids_and_blocks() {
         for block in [4usize, 7, 16] {
             for variant in Variant::all() {
                 let cfg = FwConfig::new(block, variant);
-                let (got, _) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None);
+                let (got, _) = distributed_apsp::<MinPlusF32>(pr, pc, &cfg, &input, None).expect("run");
                 assert!(
                     want.eq_exact(&got),
                     "{variant:?} diverges from fw_seq at pr={pr} pc={pc} b={block}"
@@ -37,7 +37,7 @@ fn phase_nic_bytes_sum_to_the_traffic_total_and_every_rank_sees_all_phases() {
     for variant in Variant::all() {
         let cfg = FwConfig::new(6, variant);
         let (_, traffic, trace) =
-            distributed_apsp_traced::<MinPlusF32>(2, 2, &cfg, &input, None);
+            distributed_apsp_traced::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
 
         // every NIC byte lands in exactly one phase bucket (the end-of-run
         // gather is outside any guard and lands in the "(untraced)" bucket,

@@ -34,7 +34,7 @@ fn five_independent_solvers_agree_on_the_paper_workload() {
     fw_blocked::<MinPlusF32>(&mut blk, 8, DiagMethod::Squaring, true);
     // solver 5: the full distributed offload pipeline
     let cfg = FwConfig::new(8, Variant::Offload);
-    let (dist, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+    let (dist, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
 
     assert_matrices_equal(&dij, &joh, "dijkstra vs johnson");
     assert_matrices_equal(&dij, &seq, "dijkstra vs sequential FW");
@@ -52,7 +52,7 @@ fn distributed_distances_are_realizable_as_paths() {
     let g = generators::erdos_renyi(n, 0.3, WeightKind::small_ints(), 31);
     let input = g.to_dense();
     let cfg = FwConfig::new(6, Variant::AsyncRing);
-    let (dist, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None);
+    let (dist, _) = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None).expect("run");
 
     let mut with_pred = input.clone();
     let pred = fw_seq_with_paths(&mut with_pred);
@@ -84,7 +84,8 @@ fn every_placement_yields_identical_answers_different_traffic() {
         Placement::contiguous(2, 3, 3),
         Placement::tiled(2, 3, 2, 1),
     ] {
-        let (got, traffic) = distributed_apsp::<MinPlusF32>(2, 3, &cfg, &input, Some(placement));
+        let (got, traffic) =
+            distributed_apsp::<MinPlusF32>(2, 3, &cfg, &input, Some(placement)).expect("run");
         assert_matrices_equal(&want, &got, "placement-independence");
         traffics.push(traffic.total_nic_bytes());
     }
@@ -130,7 +131,8 @@ fn functional_and_simulated_placement_rankings_agree() {
             &cfg,
             &input,
             Some(Placement::tiled(8, 8, qr, qc)),
-        );
+        )
+        .expect("run");
         t.max_node_nic_bytes()
     };
     let func_square = measure(2, 2); // K = 4x4
