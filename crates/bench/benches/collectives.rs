@@ -15,7 +15,7 @@ fn bench_broadcasts(c: &mut Criterion) {
         bch.iter(|| {
             Runtime::new(8).run(|comm| {
                 let data = (comm.rank() == 0).then(|| vec![1.0f32; elems]);
-                comm.bcast(0, data).len()
+                comm.bcast(0, data).unwrap().len()
             })
         })
     });
@@ -24,7 +24,7 @@ fn bench_broadcasts(c: &mut Criterion) {
             bch.iter(|| {
                 Runtime::new(8).run(move |comm| {
                     let data = (comm.rank() == 0).then(|| vec![1.0f32; elems]);
-                    comm.ring_bcast(0, data, chunks).len()
+                    comm.ring_bcast(0, data, chunks).unwrap().len()
                 })
             })
         });

@@ -63,6 +63,63 @@ pub fn parse_exec(name: &str) -> Result<apsp_core::dist::Exec, String> {
     }
 }
 
+/// Parse a `solve --fault` spec into a deterministic [`mpi_sim::FaultPlan`]
+/// over a `p`-rank grid. Grammar:
+///
+/// * `kill:<rank>@<send>` — rank dies before its `<send>`-th send;
+/// * `drop:<rank>@<n>` — rank's `<n>`-th send is silently lost;
+/// * `delay:<rank>@<n>:<ms>` — rank's `<n>`-th send is delayed `<ms>` ms;
+/// * `random:<seed>` — a seed-derived single fault (any of the above).
+pub fn parse_fault_plan(spec: &str, p: usize) -> Result<mpi_sim::FaultPlan, String> {
+    use mpi_sim::FaultPlan;
+    let err = || {
+        format!(
+            "bad fault spec '{spec}' \
+             (kill:<rank>@<send> | drop:<rank>@<n> | delay:<rank>@<n>:<ms> | random:<seed>)"
+        )
+    };
+    let (kind, rest) = spec.split_once(':').ok_or_else(err)?;
+    let rank = |s: &str| -> Result<usize, String> {
+        let r: usize = s.parse().map_err(|_| err())?;
+        if r >= p {
+            return Err(format!("fault names rank {r}, but the grid has only {p} ranks"));
+        }
+        Ok(r)
+    };
+    match kind {
+        "random" => Ok(FaultPlan::random_single(rest.parse().map_err(|_| err())?, p)),
+        "kill" => {
+            let (r, s) = rest.split_once('@').ok_or_else(err)?;
+            Ok(FaultPlan::kill(rank(r)?, s.parse().map_err(|_| err())?))
+        }
+        "drop" => {
+            let (r, n) = rest.split_once('@').ok_or_else(err)?;
+            Ok(FaultPlan::drop_nth(rank(r)?, n.parse().map_err(|_| err())?))
+        }
+        "delay" => {
+            let (r, tail) = rest.split_once('@').ok_or_else(err)?;
+            let (n, ms) = tail.split_once(':').ok_or_else(err)?;
+            let by = std::time::Duration::from_millis(ms.parse().map_err(|_| err())?);
+            Ok(FaultPlan::delay_nth(rank(r)?, n.parse().map_err(|_| err())?, by))
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Parse a `--recv-timeout <secs>` value (fractional seconds allowed).
+pub fn parse_recv_timeout(args: &crate::args::Args) -> Result<Option<std::time::Duration>, String> {
+    match args.opt_str("recv-timeout") {
+        None => Ok(None),
+        Some(s) => {
+            let secs: f64 = s.parse().map_err(|_| format!("bad --recv-timeout '{s}'"))?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(format!("--recv-timeout must be a positive number of seconds, got '{s}'"));
+            }
+            Ok(Some(std::time::Duration::from_secs_f64(secs)))
+        }
+    }
+}
+
 /// Resolve the policy triple from `--variant` (preset, default
 /// `default_variant`) with per-axis `--schedule` / `--bcast` / `--exec`
 /// overrides layered on top.

@@ -1,6 +1,9 @@
 //! `apsp simulate` — predict a run on the calibrated Summit model.
 
-use apsp_core::schedule::{default_node_grid, optimal_node_grid, simulate, simulate_with_trace, ScheduleConfig};
+use apsp_core::schedule::{
+    default_node_grid, optimal_node_grid, simulate, simulate_node_fault, simulate_with_trace,
+    FaultedOutcome, ScheduleConfig,
+};
 use cluster_sim::MachineSpec;
 
 use crate::args::Args;
@@ -18,6 +21,10 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
   --reorder / --no-reorder                       node-grid placement
   --trace <FILE>                                 write the simulated schedule
                                                  as Chrome trace_events JSON
+  --fault node:<ID>@<SECS>                       kill every resource of node
+                                                 <ID> at simulated second <SECS>
+  --recv-timeout <SECS>                          failure-detection delay added
+                                                 to a stall report (default 30)
 Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
         );
         return Ok(());
@@ -34,6 +41,27 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
     let spec = MachineSpec::summit(nodes);
     let mut cfg = ScheduleConfig::with_axes(n, schedule, bcast, exec, kr, kc);
     cfg.block = args.opt("block", 768)?;
+
+    if let Some(spec_str) = args.opt_str("fault") {
+        let recv_timeout = super::parse_recv_timeout(&args)?
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(30.0);
+        let (node, died_at) = parse_node_fault(spec_str)?;
+        if args.opt_str("trace").is_some() {
+            return Err("--fault and --trace cannot be combined (a stalled schedule has no complete trace)".into());
+        }
+        return match simulate_node_fault(&spec, &cfg, node, died_at, recv_timeout) {
+            Err(e) => Err(format!("infeasible: {e}")),
+            Ok(FaultedOutcome::Completed(out)) => {
+                println!(
+                    "fault node:{node}@{died_at}s never bites: schedule completes at {:.2} s",
+                    out.seconds
+                );
+                Ok(())
+            }
+            Ok(FaultedOutcome::Stalled(stall)) => Err(format!("fault: {stall}")),
+        };
+    }
 
     let (sim, trace_json) = if let Some(path) = args.opt_str("trace") {
         let (out, json) = simulate_with_trace(&spec, &cfg).map_err(|e| format!("infeasible: {e}"))?;
@@ -60,6 +88,19 @@ Prints predicted seconds, Pflop/s, effective bandwidth, GPU utilization."
         }
         Err(e) => Err(format!("infeasible: {e}")),
     }
+}
+
+/// Parse a `simulate --fault` spec: `node:<id>@<seconds>`.
+fn parse_node_fault(spec: &str) -> Result<(usize, f64), String> {
+    let err = || format!("bad fault spec '{spec}' (node:<id>@<seconds>)");
+    let rest = spec.strip_prefix("node:").ok_or_else(err)?;
+    let (node, at) = rest.split_once('@').ok_or_else(err)?;
+    let node: usize = node.parse().map_err(|_| err())?;
+    let at: f64 = at.parse().map_err(|_| err())?;
+    if !(at >= 0.0 && at.is_finite()) {
+        return Err(err());
+    }
+    Ok((node, at))
 }
 
 #[cfg(test)]
@@ -98,6 +139,24 @@ mod tests {
     #[test]
     fn rejects_unknown_variant() {
         assert!(run(&toks("--nodes 4 --n 1000 --variant warp")).is_err());
+    }
+
+    #[test]
+    fn node_fault_reports_a_typed_stall_and_fails_the_command() {
+        let err =
+            run(&toks("--nodes 4 --n 50000 --variant pipelined --fault node:1@0.0")).unwrap_err();
+        assert!(err.contains("node 1 died") && err.contains("recv timeout"), "{err}");
+        // --recv-timeout shifts the reported detection time
+        let err = run(&toks(
+            "--nodes 4 --n 50000 --variant pipelined --fault node:1@0.0 --recv-timeout 5",
+        ))
+        .unwrap_err();
+        assert!(err.contains("detect the failure"), "{err}");
+        // a fault after the makespan completes cleanly
+        run(&toks("--nodes 4 --n 50000 --variant pipelined --fault node:1@1e9")).unwrap();
+        // malformed specs and impossible nodes are input errors
+        assert!(run(&toks("--nodes 4 --n 50000 --fault gpu:1@0")).is_err());
+        assert!(run(&toks("--nodes 4 --n 50000 --fault node:9@0")).is_err());
     }
 
     #[test]

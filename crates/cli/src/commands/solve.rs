@@ -30,7 +30,11 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
   --variant <baseline|pipelined|async|offload|come>  dist preset (default pipelined)
   --schedule <bulksync|lookahead>   override the iteration-schedule axis
   --bcast <tree|ring|ring:CHUNKS>   override the PanelBcast axis
-  --exec <incore|offload>           override the OuterUpdate execution axis"
+  --exec <incore|offload>           override the OuterUpdate execution axis
+  --recv-timeout <SECS>  deadlock-detection timeout for --algo dist receives
+  --fault <SPEC>         inject a deterministic fault into the --algo dist run:
+                         kill:<rank>@<send> | drop:<rank>@<n> |
+                         delay:<rank>@<n>:<ms> | random:<seed>"
         );
         return Ok(());
     }
@@ -42,6 +46,9 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     )?;
     if trace_path.is_some() && algo != "dist" {
         return Err(format!("--trace records per-rank phases, which only --algo dist produces (got '{algo}')"));
+    }
+    if algo != "dist" && (args.opt_str("fault").is_some() || args.opt_str("recv-timeout").is_some()) {
+        return Err(format!("--fault/--recv-timeout act on the simulated runtime, which only --algo dist uses (got '{algo}')"));
     }
     let block: usize = args.opt("block", 64)?;
     let parallel = !args.has_flag("serial");
@@ -106,10 +113,16 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
             let pc: usize = args.opt("pc", 2)?;
             let (schedule, bcast, exec) = super::resolve_axes(&args, "pipelined")?;
             let cfg = apsp_core::dist::FwConfig::from_axes(block, schedule, bcast, exec);
+            let mut opts = apsp_core::DistRunOpts { recv_timeout: super::parse_recv_timeout(&args)?, ..Default::default() };
+            if let Some(spec) = args.opt_str("fault") {
+                opts.faults = super::parse_fault_plan(spec, pr * pc)?;
+                println!("fault injection: {spec}");
+            }
             println!("dist: {} on a {pr}x{pc} simulated grid, b = {block}", cfg.legend());
-            let (d, traffic, trace) =
-                apsp_core::distributed_apsp_traced::<MinPlusF32>(pr, pc, &cfg, &g.to_dense(), None)
-                    .map_err(|e| format!("dist: {e}"))?;
+            let (d, traffic, trace) = apsp_core::distributed_apsp_traced_opts::<MinPlusF32>(
+                pr, pc, &cfg, &g.to_dense(), None, &opts,
+            )
+            .map_err(|e| format!("dist: {e}"))?;
             print!("{}", trace.phase_summary(&traffic));
             if let Some(path) = trace_path {
                 std::fs::write(path, trace.to_chrome_json())
@@ -273,6 +286,60 @@ mod tests {
         let (dir, input) = fixture();
         let cmd = format!("--input {} --algo fw --trace x.json", input.display());
         assert!(run(&toks(&cmd)).unwrap_err().contains("--algo dist"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_injected_dist_run_fails_with_a_typed_error_not_a_panic() {
+        let (dir, input) = fixture();
+        // rank 0 killed before its first send: the whole run must come back
+        // as a typed Err (→ non-zero process exit), not a panic/abort
+        let cmd = format!("--input {} --algo dist --block 4 --fault kill:0@0", input.display());
+        let err = run(&toks(&cmd)).unwrap_err();
+        assert!(
+            err.contains("fault injection killed rank 0") || err.contains("peer failure"),
+            "{err}"
+        );
+        // a dropped message surfaces as the structured deadlock report once
+        // the (shortened) recv timeout expires
+        let cmd = format!(
+            "--input {} --algo dist --block 4 --fault drop:0@1 --recv-timeout 1",
+            input.display()
+        );
+        let err = run(&toks(&cmd)).unwrap_err();
+        assert!(err.contains("timed out") || err.contains("peer failure"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_free_run_with_recv_timeout_matches_fw() {
+        let (dir, input) = fixture();
+        let want = dir.join("fw.tsv");
+        run(&toks(&format!("--input {} --algo fw --out {}", input.display(), want.display())))
+            .unwrap();
+        let out = dir.join("dist-timeout.tsv");
+        let cmd = format!(
+            "--input {} --algo dist --block 4 --recv-timeout 10 --out {}",
+            input.display(),
+            out.display()
+        );
+        run(&toks(&cmd)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            std::fs::read_to_string(&want).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_flags_reject_non_dist_algos_and_bad_specs() {
+        let (dir, input) = fixture();
+        let cmd = format!("--input {} --algo fw --fault kill:0@0", input.display());
+        assert!(run(&toks(&cmd)).unwrap_err().contains("--algo dist"));
+        for bad in ["explode:1", "kill:9@0", "delay:0@1", "random:x"] {
+            let cmd = format!("--input {} --algo dist --fault {bad}", input.display());
+            assert!(run(&toks(&cmd)).is_err(), "{bad} should be rejected");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,11 +6,75 @@
 //! (lowest `priority`, then insertion order), or sleeps until one is ready.
 //! Complexity `O(T log T)` in the number of tasks, so 256-node × thousands
 //! of FW iterations fit comfortably.
+//!
+//! Failure is typed here too: [`try_run_with_faults`] accepts a list of
+//! [`ResourceFault`]s (a resource dies at a simulated time and never starts
+//! another task) and a DAG that stops making progress comes back as
+//! [`EngineError::Stalled`] — with the completed-task count, the time
+//! progress stopped, and the dead resources — instead of an assert.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
-use crate::task::{TaskGraph, TaskId};
+use crate::task::{ResourceId, TaskGraph, TaskId};
+
+/// A deterministic engine fault: `resource` stops starting new tasks at
+/// simulated second `at`. A task already running when the fault fires
+/// completes (the engine is non-preemptive); everything queued on the dead
+/// resource — and, transitively, everything depending on it — never runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceFault {
+    /// The resource that dies.
+    pub resource: ResourceId,
+    /// Simulated second at which it stops accepting work.
+    pub at: f64,
+}
+
+/// Why the engine could not complete the DAG.
+#[derive(Clone, PartialEq)]
+pub enum EngineError {
+    /// The DAG stopped making progress before every task ran.
+    Stalled {
+        /// Tasks that finished before the stall.
+        completed: usize,
+        /// Total tasks in the graph.
+        total: usize,
+        /// Simulated time of the last completed event — when progress stopped.
+        stalled_at: f64,
+        /// Resources that were dead at the stall (empty for a structural
+        /// stall, which a well-formed acyclic graph cannot produce).
+        dead: Vec<ResourceId>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Stalled { completed, total, stalled_at, dead } => {
+                write!(
+                    f,
+                    "schedule stalled at {stalled_at:.3} s with unscheduled tasks: \
+                     {completed}/{total} complete"
+                )?;
+                if !dead.is_empty() {
+                    let ids: Vec<String> =
+                        dead.iter().map(|r| r.index().to_string()).collect();
+                    write!(f, " (dead resource(s): {})", ids.join(", "))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Result of executing a [`TaskGraph`].
 #[derive(Clone, Debug)]
@@ -72,7 +136,30 @@ impl Ord for OrdF64 {
 }
 
 /// Execute the DAG; deterministic for a given graph.
+///
+/// # Panics
+/// Panics with the [`EngineError`] report if the DAG stalls (impossible for
+/// the structurally-acyclic graphs [`TaskGraph`] builds, without faults).
 pub fn run(graph: &TaskGraph) -> Schedule {
+    match try_run(graph) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible execution without faults: [`try_run_with_faults`] on an empty
+/// fault list.
+pub fn try_run(graph: &TaskGraph) -> Result<Schedule, EngineError> {
+    try_run_with_faults(graph, &[])
+}
+
+/// Execute the DAG under a fault plan; deterministic for a given graph and
+/// plan. Returns [`EngineError::Stalled`] when a dead resource strands part
+/// of the DAG.
+pub fn try_run_with_faults(
+    graph: &TaskGraph,
+    faults: &[ResourceFault],
+) -> Result<Schedule, EngineError> {
     let n = graph.tasks.len();
     let nr = graph.num_resources as usize;
     let mut start = vec![f64::NAN; n];
@@ -106,7 +193,7 @@ pub fn run(graph: &TaskGraph) -> Schedule {
         }
     }
     for r in 0..nr {
-        try_start(graph, &mut res, r, 0.0, &mut start, &mut events);
+        try_start(graph, &mut res, r, 0.0, &mut start, &mut events, faults);
     }
 
     let mut done_count = 0usize;
@@ -130,21 +217,35 @@ pub fn run(graph: &TaskGraph) -> Schedule {
                         res[dr]
                             .waiting
                             .push(Reverse((OrdF64(t), dt.priority, dep)));
-                        try_start(graph, &mut res, dr, t, &mut start, &mut events);
+                        try_start(graph, &mut res, dr, t, &mut start, &mut events, faults);
                     }
                 }
-                try_start(graph, &mut res, r, t, &mut start, &mut events);
+                try_start(graph, &mut res, r, t, &mut start, &mut events, faults);
             }
             _ => {
                 // wake resource `id`
-                try_start(graph, &mut res, id as usize, t, &mut start, &mut events);
+                try_start(graph, &mut res, id as usize, t, &mut start, &mut events, faults);
             }
         }
     }
 
-    assert_eq!(done_count, n, "engine finished with unscheduled tasks");
+    if done_count != n {
+        let mut dead: Vec<ResourceId> = faults
+            .iter()
+            .filter(|f| f.at <= makespan)
+            .map(|f| f.resource)
+            .collect();
+        dead.sort();
+        dead.dedup();
+        return Err(EngineError::Stalled {
+            completed: done_count,
+            total: n,
+            stalled_at: makespan,
+            dead,
+        });
+    }
     let busy = res.iter().map(|r| r.busy).collect();
-    Schedule { start, finish, busy, makespan }
+    Ok(Schedule { start, finish, busy, makespan })
 }
 
 fn try_start(
@@ -154,7 +255,13 @@ fn try_start(
     now: f64,
     start: &mut [f64],
     events: &mut BinaryHeap<Reverse<(OrdF64, u8, u32)>>,
+    faults: &[ResourceFault],
 ) {
+    // a dead resource never starts another task (non-preemptive: whatever
+    // was already running when the fault fired has its completion event)
+    if faults.iter().any(|f| f.resource.index() == r && now >= f.at) {
+        return;
+    }
     let state = &mut res[r];
     if state.running || state.free_at > now {
         return;
@@ -295,6 +402,49 @@ mod tests {
         let b = g.task(r, 0.0, 0, &[a]);
         let s = run(&g);
         assert_eq!(s.finish_of(b), 0.0);
+    }
+
+    #[test]
+    fn dead_resource_stalls_with_a_typed_report() {
+        // a → b → c with b on the faulted resource: a completes, b never
+        // starts, c is stranded behind it
+        let mut g = TaskGraph::new();
+        let (r1, r2) = (g.resource(), g.resource());
+        let a = g.task(r1, 1.0, 0, &[]);
+        let b = g.task(r2, 1.0, 0, &[a]);
+        let _c = g.task(r1, 1.0, 0, &[b]);
+        let err = try_run_with_faults(&g, &[ResourceFault { resource: r2, at: 0.5 }])
+            .expect_err("r2 dies before its task becomes ready");
+        let EngineError::Stalled { completed, total, stalled_at, dead } = err.clone();
+        assert_eq!((completed, total), (1, 3));
+        assert_eq!(stalled_at, 1.0);
+        assert_eq!(dead, vec![r2]);
+        let report = format!("{err}");
+        assert!(report.contains("1/3") && report.contains("dead resource"), "{report}");
+    }
+
+    #[test]
+    fn task_already_running_at_fault_time_completes() {
+        // non-preemptive: the fault at t=1 cannot abort the task started at 0
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        let a = g.task(r, 5.0, 0, &[]);
+        let s = try_run_with_faults(&g, &[ResourceFault { resource: r, at: 1.0 }])
+            .expect("the running task still finishes");
+        assert_eq!(s.finish_of(a), 5.0);
+    }
+
+    #[test]
+    fn fault_after_completion_changes_nothing() {
+        let mut g = TaskGraph::new();
+        let r = g.resource();
+        let a = g.task(r, 1.0, 0, &[]);
+        let b = g.task(r, 2.0, 0, &[a]);
+        let faulted = try_run_with_faults(&g, &[ResourceFault { resource: r, at: 100.0 }])
+            .expect("fault fires after the schedule is done");
+        let clean = run(&g);
+        assert_eq!(faulted.finish_of(b), clean.finish_of(b));
+        assert_eq!(faulted.makespan, clean.makespan);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod machine;
 pub mod task;
 pub mod trace;
 
-pub use engine::{run, Schedule};
+pub use engine::{run, try_run, try_run_with_faults, EngineError, ResourceFault, Schedule};
 pub use trace::{chrome_trace, gantt};
 pub use machine::{Cluster, MachineSpec};
 pub use task::{ResourceId, TaskGraph, TaskId};

@@ -1,5 +1,6 @@
 //! Machine model: calibrated constants and the cluster resource facade.
 
+use crate::engine::{EngineError, ResourceFault, Schedule};
 use crate::task::{ResourceId, TaskGraph, TaskId};
 
 /// Hardware constants of one homogeneous cluster (per-node values).
@@ -161,8 +162,24 @@ impl Cluster {
     }
 
     /// Execute the DAG.
-    pub fn run(&self) -> crate::engine::Schedule {
+    pub fn run(&self) -> Schedule {
         crate::engine::run(&self.dag)
+    }
+
+    /// Every engine resource of `node` — GPU pool, NIC, intra fabric, and
+    /// host-memory engine — dying at simulated second `at`: a whole-node
+    /// failure for [`Cluster::try_run_with_faults`].
+    pub fn node_fault(&self, node: usize, at: f64) -> Vec<ResourceFault> {
+        [self.gpu[node], self.nic[node], self.intra[node], self.host[node]]
+            .into_iter()
+            .map(|resource| ResourceFault { resource, at })
+            .collect()
+    }
+
+    /// Execute the DAG under a fault plan; a stalled schedule comes back as
+    /// the typed [`EngineError`] instead of a panic.
+    pub fn try_run_with_faults(&self, faults: &[ResourceFault]) -> Result<Schedule, EngineError> {
+        crate::engine::try_run_with_faults(&self.dag, faults)
     }
 
     /// Aggregate GPU busy-seconds across nodes for a finished schedule.
@@ -221,6 +238,21 @@ mod tests {
         c.send_task(0, 2, 25e9, 0, &[]);
         let s = c.run();
         assert!(s.makespan > 2.0); // serialized on node 0's NIC
+    }
+
+    #[test]
+    fn node_fault_stalls_a_cross_node_pipeline() {
+        let mut c = Cluster::new(MachineSpec::summit(2));
+        let a = c.gpu_task(0, 6.8e12, 0, &[]);
+        let x = c.send_task(0, 1, 25e9, 0, &[a]);
+        let _b = c.gpu_task(1, 6.8e12, 0, &[x]);
+        let err = c.try_run_with_faults(&c.node_fault(1, 0.0)).expect_err("node 1 is dead");
+        let EngineError::Stalled { completed, total, .. } = err;
+        assert_eq!((completed, total), (2, 3));
+        // a fault that fires after the schedule is done never bites
+        let clean = c.run();
+        let late = c.try_run_with_faults(&c.node_fault(1, 1e9)).expect("fault after the end");
+        assert_eq!(late.makespan, clean.makespan);
     }
 
     #[test]

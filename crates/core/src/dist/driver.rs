@@ -183,7 +183,7 @@ fn run_bulk_sync<S: Semiring, E: OuterExec<S>>(
     exec: &mut E,
 ) -> Result<(), DistError> {
     for k in 0..a.nb {
-        let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.bcast);
+        let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.bcast)?;
         // OuterUpdate(k): whole local matrix (re-touching the freshly-updated
         // k-th strips is a no-op — see `fw_blocked`'s module docs)
         let _p = grid.grid.phase("OuterUpdate");
@@ -201,7 +201,7 @@ fn run_look_ahead<S: Semiring, E: OuterExec<S>>(
     exec: &mut E,
 ) -> Result<(), DistError> {
     // Prime the pipeline: diag/panel work for k = 0.
-    let mut panels = diag_and_panels::<S>(grid, a, 0, cfg.diag, cfg.bcast);
+    let mut panels = diag_and_panels::<S>(grid, a, 0, cfg.diag, cfg.bcast)?;
 
     for k in 0..a.nb {
         let next = if k + 1 < a.nb {
@@ -212,7 +212,7 @@ fn run_look_ahead<S: Semiring, E: OuterExec<S>>(
             }
             // ---- then the full (k+1) diag/panel phase, overlapping the big
             //      OuterUpdate(k) in the schedule model ----
-            Some(diag_and_panels::<S>(grid, a, k + 1, cfg.diag, cfg.bcast))
+            Some(diag_and_panels::<S>(grid, a, k + 1, cfg.diag, cfg.bcast)?)
         } else {
             None
         };

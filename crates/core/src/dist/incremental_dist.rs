@@ -11,7 +11,7 @@
 //! `PanelBcast` with `b = 1` — and every rank applies a local rank-1
 //! relaxation.
 
-use mpi_sim::ProcessGrid;
+use mpi_sim::{CommError, ProcessGrid};
 use srgemm::semiring::Semiring;
 
 use super::DistMatrix;
@@ -19,14 +19,14 @@ use super::DistMatrix;
 /// Collectively absorb the improved edge `u → v` of weight `w` into the
 /// solved distributed closure `a`. Every rank of `grid` must call this with
 /// identical arguments. Returns the number of local entries improved on
-/// this rank.
+/// this rank, or the typed error if either slice broadcast breaks.
 pub fn decrease_edge_dist<S: Semiring>(
     grid: &ProcessGrid,
     a: &mut DistMatrix<S::Elem>,
     u: usize,
     v: usize,
     w: S::Elem,
-) -> usize {
+) -> Result<usize, CommError> {
     assert!(u < a.n && v < a.n, "edge endpoint out of range");
 
     // --- broadcast my rows' d[i][u] along each process row ---
@@ -37,7 +37,7 @@ pub fn decrease_edge_dist<S: Semiring>(
         let c0 = a.local_col_start(bu) + cu;
         (0..a.local.rows()).map(|r| a.local[(r, c0)]).collect::<Vec<S::Elem>>()
     });
-    let col_u: Vec<S::Elem> = grid.row.bcast(col_owner, mine);
+    let col_u: Vec<S::Elem> = grid.row.bcast(col_owner, mine)?;
     debug_assert_eq!(col_u.len(), a.local.rows());
 
     // --- broadcast my columns' d[v][j] along each process column ---
@@ -48,7 +48,7 @@ pub fn decrease_edge_dist<S: Semiring>(
         let r0 = a.local_row_start(bv) + rv;
         a.local.row(r0).to_vec()
     });
-    let row_v: Vec<S::Elem> = grid.col.bcast(row_owner, mine);
+    let row_v: Vec<S::Elem> = grid.col.bcast(row_owner, mine)?;
     debug_assert_eq!(row_v.len(), a.local.cols());
 
     // --- local rank-1 relaxation ---
@@ -65,7 +65,7 @@ pub fn decrease_edge_dist<S: Semiring>(
             }
         }
     }
-    improved
+    Ok(improved)
 }
 
 #[cfg(test)]
@@ -90,15 +90,15 @@ mod tests {
         let input = g.to_dense();
         let updates2 = updates.clone();
         let out = Runtime::new(pr * pc).run(move |comm| {
-            let grid = ProcessGrid::new(comm, pr, pc);
+            let grid = ProcessGrid::new(comm, pr, pc).unwrap();
             let (r, c) = grid.coords();
             let mut a = DistMatrix::from_global(&input, b, pr, pc, r, c);
             let cfg = FwConfig::new(b, Variant::Baseline);
             driver::run::<MinPlusF32, _>(&grid, &mut a, &cfg, &mut InCoreGemm).expect("in-core run");
             for &(u, v, w) in &updates2 {
-                decrease_edge_dist::<MinPlusF32>(&grid, &mut a, u, v, w);
+                decrease_edge_dist::<MinPlusF32>(&grid, &mut a, u, v, w).expect("update");
             }
-            a.gather(&grid)
+            a.gather(&grid).unwrap()
         });
         out.into_iter().flatten().next().expect("rank 0 gathers")
     }

@@ -7,7 +7,7 @@
 //! outer product are plain sub-views — the same reason the GPU
 //! implementation packs local blocks into single device allocations.
 
-use mpi_sim::ProcessGrid;
+use mpi_sim::{CommError, ProcessGrid};
 use srgemm::matrix::{Matrix, View, ViewMut};
 
 /// Tag used by [`DistMatrix::gather`].
@@ -147,19 +147,20 @@ impl<T: Copy> DistMatrix<T> {
 }
 
 impl<T: Copy + Send + Sync + 'static> DistMatrix<T> {
-    /// Collect the full matrix on grid rank 0 (`Some` there, `None`
-    /// elsewhere). Collective over `grid.grid`.
-    pub fn gather(&self, grid: &ProcessGrid) -> Option<Matrix<T>> {
+    /// Collect the full matrix on grid rank 0 (`Ok(Some)` there, `Ok(None)`
+    /// elsewhere). Collective over `grid.grid`; a lost or failed peer
+    /// surfaces as the typed [`CommError`].
+    pub fn gather(&self, grid: &ProcessGrid) -> Result<Option<Matrix<T>>, CommError> {
         let comm = &grid.grid;
         if comm.rank() != 0 {
-            comm.send(0, GATHER_TAG, self.local.as_slice().to_vec());
-            return None;
+            comm.send(0, GATHER_TAG, self.local.as_slice().to_vec())?;
+            return Ok(None);
         }
         if self.n == 0 {
             for src in 1..comm.size() {
-                let _: Vec<T> = comm.recv(src, GATHER_TAG);
+                let _: Vec<T> = comm.recv(src, GATHER_TAG)?;
             }
-            return Some(Matrix::from_vec(0, 0, Vec::new()));
+            return Ok(Some(Matrix::from_vec(0, 0, Vec::new())));
         }
         // rank 0 always owns block (0,0), so its local matrix is non-empty here
         let fill = self.local.as_slice()[0];
@@ -174,7 +175,7 @@ impl<T: Copy + Send + Sync + 'static> DistMatrix<T> {
                 let data: Vec<T> = if rank == 0 {
                     self.local.as_slice().to_vec()
                 } else {
-                    comm.recv(rank, GATHER_TAG)
+                    comm.recv(rank, GATHER_TAG)?
                 };
                 assert_eq!(data.len(), lrows * lcols, "gather size mismatch from rank {rank}");
                 if lrows == 0 || lcols == 0 {
@@ -189,7 +190,7 @@ impl<T: Copy + Send + Sync + 'static> DistMatrix<T> {
                 }
             }
         }
-        Some(out)
+        Ok(Some(out))
     }
 }
 
@@ -243,10 +244,10 @@ mod tests {
         for (pr, pc, n, b) in [(1, 1, 5, 2), (2, 2, 10, 3), (2, 3, 13, 4), (3, 2, 9, 3)] {
             let g = iota(n);
             let got = Runtime::new(pr * pc).run(|comm| {
-                let grid = ProcessGrid::new(comm, pr, pc);
+                let grid = ProcessGrid::new(comm, pr, pc).unwrap();
                 let (r, c) = grid.coords();
                 let d = DistMatrix::from_global(&g, b, pr, pc, r, c);
-                d.gather(&grid)
+                d.gather(&grid).unwrap()
             });
             let root = got[0].clone().expect("root gathers");
             assert!(root.eq_exact(&g), "grid {pr}x{pc} n={n} b={b}");

@@ -40,8 +40,13 @@ pub mod oned;
 pub use driver::{GpuOffload, InCoreGemm, OffloadStats, OuterExec};
 pub use layout::DistMatrix;
 
+use std::time::Duration;
+
 use gpu_sim::{GpuSpec, OogConfig};
-use mpi_sim::{Comm, Placement, ProcessGrid, RunTrace, Runtime, TrafficReport};
+use mpi_sim::{
+    Comm, CommError, FailureKind, FaultPlan, Placement, ProcessGrid, RunError, RunTrace, Runtime,
+    TrafficReport,
+};
 use srgemm::matrix::Matrix;
 use srgemm::semiring::Semiring;
 
@@ -141,6 +146,18 @@ pub enum DistError {
         /// Bytes actually available.
         available: u64,
     },
+    /// A communication primitive failed on some rank: a structured deadlock
+    /// report, a peer-failure notification, a split timeout, or an injected
+    /// fault (see [`mpi_sim::CommError`]).
+    Comm(CommError),
+    /// A rank's closure panicked; the runtime caught the unwind and peers
+    /// were failed fast, so the panic surfaces as data instead of an abort.
+    RankPanicked {
+        /// World rank whose closure panicked.
+        rank: usize,
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -151,11 +168,45 @@ impl std::fmt::Display for DistError {
                 "offload panels do not fit on the device: need {requested} B, \
                  have {available} B (shrink the block size or the oog tile buffers)"
             ),
+            DistError::Comm(e) => write!(f, "communication failed: {e}"),
+            DistError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
         }
     }
 }
 
+impl From<CommError> for DistError {
+    fn from(e: CommError) -> Self {
+        DistError::Comm(e)
+    }
+}
+
 impl std::error::Error for DistError {}
+
+/// Runtime knobs for the convenience drivers ([`distributed_apsp_opts`] and
+/// friends): the deadlock-detection deadline and an optional deterministic
+/// fault-injection plan.
+#[derive(Clone, Debug, Default)]
+pub struct DistRunOpts {
+    /// Override the receive timeout used for deadlock detection
+    /// (`None` → the runtime's 30 s default). CI-scale runs shorten this.
+    pub recv_timeout: Option<Duration>,
+    /// Deterministic fault-injection plan (empty = no faults).
+    pub faults: FaultPlan,
+}
+
+/// Collapse a failed SPMD run into the single error the caller reports:
+/// first-failure attribution picks the root cause, app errors pass through
+/// typed (a deterministic [`DistError::DeviceOom`] stays a `DeviceOom`), and
+/// a caught panic becomes [`DistError::RankPanicked`].
+fn flatten_failure(err: RunError<DistError>) -> DistError {
+    let first = err.failures.into_iter().next().expect("RunError is never empty");
+    match first.error {
+        FailureKind::App(e) => e,
+        FailureKind::Panic(message) => DistError::RankPanicked { rank: first.rank, message },
+    }
+}
 
 /// Default ring chunk count for the functional (test-scale) runs; the
 /// Summit-scale schedules use deeper pipelining (see
@@ -283,7 +334,8 @@ impl FwConfig {
 }
 
 /// Broadcast a matrix (flattened) over `comm` from `root`; `mine` is
-/// `Some(matrix)` at the root. Returns the matrix on every rank.
+/// `Some(matrix)` at the root. Returns the matrix on every rank, or the
+/// communication error that broke the collective.
 pub(crate) fn bcast_matrix<S: Semiring>(
     comm: &Comm,
     root: usize,
@@ -291,17 +343,17 @@ pub(crate) fn bcast_matrix<S: Semiring>(
     rows: usize,
     cols: usize,
     how: PanelBcastAlgo,
-) -> Matrix<S::Elem> {
+) -> Result<Matrix<S::Elem>, CommError> {
     let payload = mine.map(|m| {
         debug_assert_eq!((m.rows(), m.cols()), (rows, cols));
         m.as_slice().to_vec()
     });
     let data = match how {
-        PanelBcastAlgo::Tree => comm.bcast(root, payload),
-        PanelBcastAlgo::Ring { chunks } => comm.ring_bcast(root, payload, chunks),
+        PanelBcastAlgo::Tree => comm.bcast(root, payload)?,
+        PanelBcastAlgo::Ring { chunks } => comm.ring_bcast(root, payload, chunks)?,
     };
     assert_eq!(data.len(), rows * cols, "broadcast panel size mismatch");
-    Matrix::from_vec(rows, cols, data)
+    Ok(Matrix::from_vec(rows, cols, data))
 }
 
 /// Per-iteration context shared by the driver loops: the closed diagonal
@@ -315,15 +367,16 @@ pub(crate) struct PanelSet<T> {
 
 /// DiagUpdate + DiagBcast + PanelUpdate + PanelBcast for iteration `k` —
 /// identical at every point of the policy cube (only the panel broadcast
-/// algorithm differs). On return the k-th strips of `a` are updated in
-/// place and every rank holds the broadcast panels.
+/// algorithm differs). On success the k-th strips of `a` are updated in
+/// place and every rank holds the broadcast panels; a broken broadcast
+/// surfaces as [`DistError::Comm`] on every participating rank.
 pub(crate) fn diag_and_panels<S: Semiring>(
     grid: &ProcessGrid,
     a: &mut DistMatrix<S::Elem>,
     k: usize,
     diag_method: DiagMethod,
     how: PanelBcastAlgo,
-) -> PanelSet<S::Elem> {
+) -> Result<PanelSet<S::Elem>, DistError> {
     use srgemm::closure::{fw_closure, fw_closure_squaring};
     use srgemm::panel::{panel_update_left, panel_update_right};
 
@@ -355,11 +408,11 @@ pub(crate) fn diag_and_panels<S: Semiring>(
         let _p = grid.grid.phase("DiagBcast");
         if a.owns_row(k) {
             let mine = a.owns_col(k).then(|| a.diag_block(k));
-            diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcastAlgo::Tree));
+            diag_row = Some(bcast_matrix::<S>(&grid.row, kc, mine, bk, bk, PanelBcastAlgo::Tree)?);
         }
         if a.owns_col(k) {
             let mine = a.owns_row(k).then(|| a.diag_block(k));
-            diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcastAlgo::Tree));
+            diag_col = Some(bcast_matrix::<S>(&grid.col, kr, mine, bk, bk, PanelBcastAlgo::Tree)?);
         }
     }
 
@@ -389,7 +442,7 @@ pub(crate) fn diag_and_panels<S: Semiring>(
         bk,
         lcols,
         how,
-    );
+    )?;
     let col_panel = bcast_matrix::<S>(
         &grid.row,
         kc,
@@ -397,8 +450,8 @@ pub(crate) fn diag_and_panels<S: Semiring>(
         lrows,
         bk,
         how,
-    );
-    PanelSet { col_panel, row_panel }
+    )?;
+    Ok(PanelSet { col_panel, row_panel })
 }
 
 /// Run the configured policy triple on this rank's share of an existing
@@ -436,32 +489,46 @@ pub fn distributed_apsp_on<S: Semiring>(
     cfg: &FwConfig,
     global: &Matrix<S::Elem>,
 ) -> Result<Option<Matrix<S::Elem>>, DistError> {
-    let grid = ProcessGrid::new(comm, pr, pc);
+    let grid = ProcessGrid::new(comm, pr, pc)?;
     let (my_r, my_c) = grid.coords();
     let mut a = DistMatrix::from_global(global, cfg.block, pr, pc, my_r, my_c);
     run_on_grid::<S>(&grid, &mut a, cfg)?;
-    Ok(a.gather(&grid))
+    Ok(a.gather(&grid)?)
 }
 
-/// Fold the per-rank results of an SPMD run into the root's matrix: the
-/// first rank-level error wins; a run in which no rank gathered anything
-/// (possible only for degenerate inputs) yields the empty matrix instead of
-/// aborting.
-fn collect_root<S: Semiring>(
-    results: Vec<Result<Option<Matrix<S::Elem>>, DistError>>,
-) -> Result<Matrix<S::Elem>, DistError> {
-    let mut root = None;
-    for r in results {
-        if let Some(m) = r? {
-            root = Some(m);
-        }
+/// Fold the per-rank results of a successful SPMD run into the root's
+/// matrix; a run in which no rank gathered anything (possible only for
+/// degenerate inputs) yields the empty matrix instead of aborting.
+fn collect_root<S: Semiring>(results: Vec<Option<Matrix<S::Elem>>>) -> Matrix<S::Elem> {
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .unwrap_or_else(|| Matrix::from_vec(0, 0, Vec::new()))
+}
+
+/// Build the runtime for a convenience driver from placement + run options.
+fn build_runtime(p: usize, placement: Option<Placement>, opts: &DistRunOpts) -> Runtime {
+    let mut rt = Runtime::new(p);
+    if let Some(pl) = placement {
+        rt = rt.with_placement(pl);
     }
-    Ok(root.unwrap_or_else(|| Matrix::from_vec(0, 0, Vec::new())))
+    if let Some(t) = opts.recv_timeout {
+        rt = rt.with_recv_timeout(t);
+    }
+    if !opts.faults.is_empty() {
+        rt = rt.with_faults(opts.faults.clone());
+    }
+    rt
 }
 
 /// Convenience driver: spin up `pr·pc` ranks, run
 /// [`distributed_apsp_on`], and return the gathered matrix plus the traffic
 /// report (for the §5.1.3 effective-bandwidth metric).
+///
+/// Any rank failure — deadlock timeout, injected fault, device OOM, or a
+/// caught panic — comes back as a typed [`DistError`] (first failure wins);
+/// nothing in this path panics the caller.
 pub fn distributed_apsp<S: Semiring>(
     pr: usize,
     pc: usize,
@@ -469,15 +536,27 @@ pub fn distributed_apsp<S: Semiring>(
     global: &Matrix<S::Elem>,
     placement: Option<Placement>,
 ) -> Result<(Matrix<S::Elem>, TrafficReport), DistError> {
-    let mut rt = Runtime::new(pr * pc);
-    if let Some(p) = placement {
-        rt = rt.with_placement(p);
-    }
+    distributed_apsp_opts::<S>(pr, pc, cfg, global, placement, &DistRunOpts::default())
+}
+
+/// [`distributed_apsp`] with explicit [`DistRunOpts`] (receive timeout,
+/// fault injection).
+pub fn distributed_apsp_opts<S: Semiring>(
+    pr: usize,
+    pc: usize,
+    cfg: &FwConfig,
+    global: &Matrix<S::Elem>,
+    placement: Option<Placement>,
+    opts: &DistRunOpts,
+) -> Result<(Matrix<S::Elem>, TrafficReport), DistError> {
+    let rt = build_runtime(pr * pc, placement, opts);
     let cfg = *cfg;
-    let (results, traffic) = rt.run_traced(move |comm| {
-        distributed_apsp_on::<S>(comm, pr, pc, &cfg, global)
-    });
-    Ok((collect_root::<S>(results)?, traffic))
+    let (out, traffic) =
+        rt.try_run_traced(move |comm| distributed_apsp_on::<S>(comm, pr, pc, &cfg, global));
+    match out {
+        Ok(results) => Ok((collect_root::<S>(results), traffic)),
+        Err(e) => Err(flatten_failure(e)),
+    }
 }
 
 /// Like [`distributed_apsp`] but additionally records the per-rank,
@@ -491,13 +570,24 @@ pub fn distributed_apsp_traced<S: Semiring>(
     global: &Matrix<S::Elem>,
     placement: Option<Placement>,
 ) -> Result<(Matrix<S::Elem>, TrafficReport, RunTrace), DistError> {
-    let mut rt = Runtime::new(pr * pc);
-    if let Some(p) = placement {
-        rt = rt.with_placement(p);
-    }
+    distributed_apsp_traced_opts::<S>(pr, pc, cfg, global, placement, &DistRunOpts::default())
+}
+
+/// [`distributed_apsp_traced`] with explicit [`DistRunOpts`].
+pub fn distributed_apsp_traced_opts<S: Semiring>(
+    pr: usize,
+    pc: usize,
+    cfg: &FwConfig,
+    global: &Matrix<S::Elem>,
+    placement: Option<Placement>,
+    opts: &DistRunOpts,
+) -> Result<(Matrix<S::Elem>, TrafficReport, RunTrace), DistError> {
+    let rt = build_runtime(pr * pc, placement, opts);
     let cfg = *cfg;
-    let (results, traffic, trace) = rt.run_with_trace(move |comm| {
-        distributed_apsp_on::<S>(comm, pr, pc, &cfg, global)
-    });
-    Ok((collect_root::<S>(results)?, traffic, trace))
+    let (out, traffic, trace) =
+        rt.try_run_with_trace(move |comm| distributed_apsp_on::<S>(comm, pr, pc, &cfg, global));
+    match out {
+        Ok(results) => Ok((collect_root::<S>(results), traffic, trace)),
+        Err(e) => Err(flatten_failure(e)),
+    }
 }

@@ -10,7 +10,7 @@
 //! are what the paper's blocked formulation fixes; the schedule model in
 //! [`crate::schedule::simulate_oned`] prices them.
 
-use mpi_sim::Comm;
+use mpi_sim::{Comm, CommError};
 use srgemm::matrix::Matrix;
 use srgemm::semiring::Semiring;
 
@@ -18,8 +18,12 @@ use srgemm::semiring::Semiring;
 const GATHER_TAG: u64 = 0x1D;
 
 /// Run 1-D cyclic-row Floyd-Warshall over `comm`. `global` must be
-/// identical on all ranks; returns the solved matrix on rank 0.
-pub fn oned_apsp<S: Semiring>(comm: &Comm, global: &Matrix<S::Elem>) -> Option<Matrix<S::Elem>> {
+/// identical on all ranks; returns the solved matrix on rank 0. A broken
+/// pivot broadcast or gather surfaces as the typed [`CommError`].
+pub fn oned_apsp<S: Semiring>(
+    comm: &Comm,
+    global: &Matrix<S::Elem>,
+) -> Result<Option<Matrix<S::Elem>>, CommError> {
     assert!(
         S::IDEMPOTENT_ADD,
         "distributed FW relies on an idempotent ⊕ ({} is not)",
@@ -48,7 +52,7 @@ pub fn oned_apsp<S: Semiring>(comm: &Comm, global: &Matrix<S::Elem>) -> Option<M
         let owner = k % p;
         let pivot: Vec<S::Elem> = {
             let _p = comm.phase("PanelBcast");
-            comm.bcast(owner, (owner == me).then(|| local[k / p].clone()))
+            comm.bcast(owner, (owner == me).then(|| local[k / p].clone()))?
         };
         // relax every local row
         let _p = comm.phase("OuterUpdate");
@@ -65,9 +69,9 @@ pub fn oned_apsp<S: Semiring>(comm: &Comm, global: &Matrix<S::Elem>) -> Option<M
     // gather rows to rank 0
     if me != 0 {
         for (li, &i) in my_rows.iter().enumerate() {
-            comm.send(0, GATHER_TAG + i as u64, local[li].clone());
+            comm.send(0, GATHER_TAG + i as u64, local[li].clone())?;
         }
-        None
+        Ok(None)
     } else {
         let mut out = global.clone();
         for (li, &i) in my_rows.iter().enumerate() {
@@ -75,11 +79,11 @@ pub fn oned_apsp<S: Semiring>(comm: &Comm, global: &Matrix<S::Elem>) -> Option<M
         }
         for src in 1..p {
             for i in (src..n).step_by(p) {
-                let row: Vec<S::Elem> = comm.recv(src, GATHER_TAG + i as u64);
+                let row: Vec<S::Elem> = comm.recv(src, GATHER_TAG + i as u64)?;
                 out.row_mut(i).copy_from_slice(&row);
             }
         }
-        Some(out)
+        Ok(Some(out))
     }
 }
 
@@ -98,7 +102,7 @@ mod tests {
             let input = g.to_dense();
             let mut want = input.clone();
             fw_seq::<MinPlusF32>(&mut want);
-            let out = Runtime::new(p).run(|comm| oned_apsp::<MinPlusF32>(&comm, &input));
+            let out = Runtime::new(p).run(|comm| oned_apsp::<MinPlusF32>(&comm, &input).unwrap());
             let got = out.into_iter().flatten().next().expect("rank 0 output");
             assert!(want.eq_exact(&got), "n={n} p={p}");
         }
@@ -112,7 +116,7 @@ mod tests {
         let input = generators::uniform_dense(n, WeightKind::small_ints(), 9).to_dense();
 
         let rt = Runtime::new(4);
-        let (_, t1d) = rt.run_traced(|comm| oned_apsp::<MinPlusF32>(&comm, &input));
+        let (_, t1d) = rt.run_traced(|comm| oned_apsp::<MinPlusF32>(&comm, &input).unwrap());
 
         let cfg = crate::dist::FwConfig::new(8, crate::dist::Variant::Baseline);
         let (_, t2d) =

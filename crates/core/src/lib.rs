@@ -58,7 +58,8 @@ pub mod schedule;
 pub mod verify;
 
 pub use dist::{
-    distributed_apsp, distributed_apsp_traced, DistError, Exec, FwConfig, PanelBcastAlgo,
+    distributed_apsp, distributed_apsp_opts, distributed_apsp_traced,
+    distributed_apsp_traced_opts, DistError, DistRunOpts, Exec, FwConfig, PanelBcastAlgo,
     Schedule, Variant,
 };
 pub use fw_blocked::{fw_blocked, DiagMethod};

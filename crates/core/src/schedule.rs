@@ -14,7 +14,7 @@
 //! rank→node placement enters through the node-grid shape `K_r × K_c`,
 //! exactly the quantity §3.4.1 shows the NIC volume depends on.
 
-use cluster_sim::{chrome_trace, Cluster, MachineSpec, Schedule, TaskId};
+use cluster_sim::{chrome_trace, Cluster, EngineError, MachineSpec, Schedule, TaskId};
 
 use crate::dist::{Exec, PanelBcastAlgo, Schedule as FwSchedule, Variant};
 use crate::model;
@@ -110,6 +110,50 @@ pub struct SimOutcome {
     pub gpu_utilization: f64,
 }
 
+/// A whole-node failure stalling a simulated run: the discrete-event
+/// counterpart of `mpi_sim`'s structured deadlock report. Produced by
+/// [`simulate_node_fault`] when the dead node's tasks gate the rest of the
+/// schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimStall {
+    /// Node whose GPU pool, NIC, intra fabric and host engine all died.
+    pub node: usize,
+    /// Simulated second at which the node died.
+    pub died_at: f64,
+    /// Tasks that finished before progress stopped.
+    pub completed: usize,
+    /// Total tasks in the DAG.
+    pub total: usize,
+    /// Simulated second of the last task completion — progress stops here.
+    pub stalled_at: f64,
+    /// When the survivors *notice*: `stalled_at + recv_timeout`. Blocked
+    /// peers time out instead of waiting forever, mirroring
+    /// `Comm::recv_raw`'s receive timeout in the functional runtime.
+    pub detected_at: f64,
+}
+
+impl std::fmt::Display for SimStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} died at {:.3} s: schedule stalled at {:.3} s with {}/{} tasks complete; \
+             surviving nodes detect the failure at {:.3} s (recv timeout)",
+            self.node, self.died_at, self.stalled_at, self.completed, self.total, self.detected_at
+        )
+    }
+}
+
+/// What a fault-injected simulation produced: either the run survived the
+/// fault (it fired after every task the dead node gated had finished) or the
+/// schedule stalled.
+#[derive(Clone, Debug)]
+pub enum FaultedOutcome {
+    /// The fault never bit; normal outcome.
+    Completed(SimOutcome),
+    /// The dead node wedged the schedule.
+    Stalled(SimStall),
+}
+
 /// Why a configuration cannot run (the paper's "Beyond GPU Memory" wall).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Infeasible {
@@ -179,6 +223,44 @@ pub fn simulate_with_trace(spec: &MachineSpec, cfg: &ScheduleConfig) -> Result<(
     Ok((outcome, json))
 }
 
+/// [`simulate`] under a whole-node failure: every resource of `node` stops
+/// starting tasks at simulated second `died_at`. If tasks the dead node
+/// gates remain, the run comes back as a typed [`SimStall`] whose
+/// `detected_at` adds `recv_timeout` seconds — the point at which blocked
+/// survivors would time out and report, rather than hang.
+pub fn simulate_node_fault(
+    spec: &MachineSpec,
+    cfg: &ScheduleConfig,
+    node: usize,
+    died_at: f64,
+    recv_timeout: f64,
+) -> Result<FaultedOutcome, Infeasible> {
+    check_memory(spec, cfg)?;
+    if node >= spec.nodes {
+        return Err(Infeasible {
+            reason: format!("fault names node {node}, but the machine has only {} nodes", spec.nodes),
+        });
+    }
+    let nodes = cfg.kr * cfg.kc;
+    assert_eq!(nodes, spec.nodes, "node grid must cover the machine");
+
+    let mut cl = Cluster::new(*spec);
+    build_dag(&mut cl, cfg);
+    match cl.try_run_with_faults(&cl.node_fault(node, died_at)) {
+        Ok(sched) => Ok(FaultedOutcome::Completed(summarize(cfg, &cl, &sched))),
+        Err(EngineError::Stalled { completed, total, stalled_at, .. }) => {
+            Ok(FaultedOutcome::Stalled(SimStall {
+                node,
+                died_at,
+                completed,
+                total,
+                stalled_at,
+                detected_at: stalled_at + recv_timeout,
+            }))
+        }
+    }
+}
+
 /// Build the DAG for `cfg`, run it, and summarize — keeping the cluster and
 /// schedule alive for trace export.
 fn run_sim(spec: &MachineSpec, cfg: &ScheduleConfig) -> (SimOutcome, Cluster, Schedule) {
@@ -188,21 +270,26 @@ fn run_sim(spec: &MachineSpec, cfg: &ScheduleConfig) -> (SimOutcome, Cluster, Sc
     let mut cl = Cluster::new(*spec);
     build_dag(&mut cl, cfg);
     let sched = cl.run();
+    let outcome = summarize(cfg, &cl, &sched);
+    (outcome, cl, sched)
+}
 
+/// Summarize a finished schedule into the paper's reporting quantities.
+fn summarize(cfg: &ScheduleConfig, cl: &Cluster, sched: &Schedule) -> SimOutcome {
+    let nodes = cfg.kr * cfg.kc;
     let flops = model::fw_flops(cfg.n);
     let seconds = sched.makespan;
     let gpu_util = (0..nodes)
         .map(|nd| sched.busy[cl.gpu_resource(nd).index()] / seconds.max(1e-30))
         .sum::<f64>()
         / nodes as f64;
-    let outcome = SimOutcome {
+    SimOutcome {
         seconds,
         flops,
         pflops: flops / seconds / 1e15,
         effective_bw: model::effective_bandwidth(cfg.n, nodes, cfg.elem_bytes, seconds),
         gpu_utilization: gpu_util,
-    };
-    (outcome, cl, sched)
+    }
 }
 
 /// Simulate the 1-D row-partitioned comparator
@@ -603,6 +690,32 @@ mod tests {
         );
         // and the in-core schedules must remain infeasible here
         assert!(simulate(&spec, &ScheduleConfig::new(n, Variant::Pipelined, 2, 2)).is_err());
+    }
+
+    #[test]
+    fn node_fault_stalls_the_simulation_with_a_typed_report() {
+        let spec = MachineSpec::summit(4);
+        let cfg = ScheduleConfig::new(40_000, Variant::Pipelined, 2, 2);
+        let clean = simulate(&spec, &cfg).expect("feasible");
+
+        // node 1 dying at t=0 wedges the schedule: the typed report carries
+        // progress, the stall time, and the detection time
+        let out = simulate_node_fault(&spec, &cfg, 1, 0.0, 30.0).expect("feasible");
+        let FaultedOutcome::Stalled(stall) = out else { panic!("expected a stall, got {out:?}") };
+        assert_eq!(stall.node, 1);
+        assert!(stall.completed < stall.total, "{}/{}", stall.completed, stall.total);
+        assert!(stall.stalled_at < clean.seconds);
+        assert!((stall.detected_at - (stall.stalled_at + 30.0)).abs() < 1e-12);
+        let report = stall.to_string();
+        assert!(report.contains("node 1 died") && report.contains("recv timeout"), "{report}");
+
+        // a fault after the makespan never bites: identical outcome
+        let out = simulate_node_fault(&spec, &cfg, 1, clean.seconds + 1.0, 30.0).expect("feasible");
+        let FaultedOutcome::Completed(done) = out else { panic!("late fault must not stall") };
+        assert_eq!(done.seconds, clean.seconds);
+
+        // naming a node the machine does not have is an input error
+        assert!(simulate_node_fault(&spec, &cfg, 99, 0.0, 30.0).is_err());
     }
 
     #[test]

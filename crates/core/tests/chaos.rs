@@ -1,0 +1,76 @@
+//! Chaos properties: random single-fault plans across the full policy cube
+//! must terminate promptly on every rank with *typed* errors — never a hang,
+//! never a panic cascade — and fault-free runs through the same options
+//! plumbing must stay bit-identical to sequential Floyd-Warshall.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use apsp_core::dist::{
+    distributed_apsp_opts, DistError, DistRunOpts, Exec, FwConfig, PanelBcastAlgo, Schedule,
+};
+use apsp_core::fw_seq::fw_seq;
+use apsp_graph::generators::{erdos_renyi, WeightKind};
+use mpi_sim::FaultPlan;
+use srgemm::MinPlusF32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn single_fault_runs_terminate_with_typed_errors_or_finish_clean(
+        n in 6usize..24,
+        b in 2usize..8,
+        grid_pick in 0usize..4,
+        schedule_pick in 0usize..2,
+        bcast_pick in 0usize..2,
+        exec_pick in 0usize..2,
+        graph_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // the full 2×2×2 policy cube on several grid shapes
+        let (pr, pc) = [(1, 2), (2, 2), (2, 3), (3, 1)][grid_pick];
+        let schedule = Schedule::all()[schedule_pick];
+        let bcast = [PanelBcastAlgo::Tree, PanelBcastAlgo::Ring { chunks: 3 }][bcast_pick];
+        let exec = Exec::all()[exec_pick];
+        let cfg = FwConfig::from_axes(b, schedule, bcast, exec);
+
+        let g = erdos_renyi(n, 0.3, WeightKind::small_ints(), graph_seed);
+        let input = g.to_dense();
+        let mut want = input.clone();
+        fw_seq::<MinPlusF32>(&mut want);
+
+        let recv_timeout = Duration::from_millis(300);
+
+        // fault-free through the same options plumbing: exact answer
+        let clean = DistRunOpts { recv_timeout: Some(recv_timeout * 10), faults: FaultPlan::none() };
+        let (got, _) = distributed_apsp_opts::<MinPlusF32>(pr, pc, &cfg, &input, None, &clean)
+            .expect("fault-free run");
+        prop_assert!(want.eq_exact(&got));
+
+        // one random kill-or-drop fault: every rank must terminate promptly
+        // (a drop costs one recv_timeout for detection, then mailbox
+        // poisoning fails the survivors fast); the outcome is either a typed
+        // communication error or — when the fault's trigger point is never
+        // reached — the exact answer
+        let opts = DistRunOpts {
+            recv_timeout: Some(recv_timeout),
+            faults: FaultPlan::random_single(fault_seed, pr * pc),
+        };
+        let t0 = Instant::now();
+        let out = distributed_apsp_opts::<MinPlusF32>(pr, pc, &cfg, &input, None, &opts);
+        let elapsed = t0.elapsed();
+        prop_assert!(
+            elapsed < Duration::from_secs(10),
+            "run must not hang: took {:?} under plan {:?}", elapsed, opts.faults
+        );
+        match out {
+            Ok((got, _)) => prop_assert!(want.eq_exact(&got), "plan {:?}", opts.faults),
+            Err(e) => prop_assert!(
+                matches!(e, DistError::Comm(_)),
+                "fault must surface as a typed CommError, not a panic: {} ({:?})", e, opts.faults
+            ),
+        }
+    }
+}

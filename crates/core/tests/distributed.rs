@@ -203,7 +203,9 @@ fn device_oom_surfaces_as_typed_error_not_panic() {
         cfg.gpu_spec.mem_bytes = 64;
         let err = distributed_apsp::<MinPlusF32>(2, 2, &cfg, &input, None)
             .expect_err("64-byte device cannot fit the panels");
-        let DistError::DeviceOom { requested, available } = err;
+        let DistError::DeviceOom { requested, available } = err else {
+            panic!("expected DeviceOom, got {err}");
+        };
         assert_eq!(available, 64);
         assert!(requested > available, "requested {requested} must exceed {available}");
     }

@@ -50,8 +50,13 @@ pub struct OogStats {
 }
 
 impl OogStats {
-    /// Simulated throughput in Gflop/s.
+    /// Simulated throughput in Gflop/s. A degenerate product (`m`, `n` or
+    /// `k` of zero) takes no simulated time and does no flops; report 0
+    /// instead of the `0/0 = NaN` (or `x/0 = inf`) a bare division yields.
     pub fn gflops(&self) -> f64 {
+        if self.sim_time == 0.0 {
+            return 0.0;
+        }
         self.flops / self.sim_time / 1e9
     }
 }
@@ -261,6 +266,24 @@ mod tests {
         let cfg = OogConfig::new(5, 7, 1);
         oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut got.view_mut(), &a.view(), &b.view()).unwrap();
         assert!(want.eq_exact(&got));
+    }
+
+    #[test]
+    fn gflops_is_zero_not_nan_for_degenerate_products() {
+        // m = 0 (or n = 0): no tiles, no flops, no simulated time — the
+        // throughput must be 0, not 0/0 = NaN or x/0 = inf.
+        let stats = OogStats { sim_time: 0.0, flops: 0.0, tiles: 0, device_bytes: 0 };
+        assert_eq!(stats.gflops(), 0.0);
+
+        let gpu = SimGpu::new(GpuSpec::test_tiny());
+        let a = lcg(0, 8, 6);
+        let b = lcg(8, 16, 7);
+        let mut c = Matrix::filled(0, 16, f32::INFINITY);
+        let cfg = OogConfig::new(8, 8, 2);
+        let stats =
+            oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut c.view_mut(), &a.view(), &b.view()).unwrap();
+        assert!(stats.gflops().is_finite());
+        assert_eq!(stats.gflops(), 0.0);
     }
 
     #[test]

@@ -10,27 +10,48 @@
 //!   the root finish early, and consecutive broadcasts from different roots
 //!   overlap freely — the asynchrony that lets `Co-ParallelFw` drift across
 //!   iterations.
+//!
+//! Every collective returns `Result<_, CommError>`: a deadlock, a failed
+//! peer, or an injected fault surfaces as a typed error on every
+//! participating rank instead of a panic cascade.
+
+use std::sync::Arc;
 
 use crate::comm::{Comm, INTERNAL_TAG};
+use crate::error::CommError;
 use crate::payload::Payload;
 
 impl Comm {
     /// Block until every member of the communicator has entered the barrier.
-    pub fn barrier(&self) {
+    ///
+    /// Both phases are binomial trees rooted at rank 0 — an `O(log p)`-round
+    /// reduction of empty tokens followed by the `O(log p)`-round release
+    /// broadcast — `2(p-1)` messages total with no rank receiving more than
+    /// `⌈log₂ p⌉` of them (the old linear gather funnelled `p-1` receives
+    /// through rank 0).
+    pub fn barrier(&self) -> Result<(), CommError> {
         let op = self.next_op();
         let tag = INTERNAL_TAG | op;
-        if self.size() == 1 {
-            return;
+        let (rank, size) = (self.rank(), self.size());
+        if size == 1 {
+            return Ok(());
         }
-        if self.rank() == 0 {
-            for src in 1..self.size() {
-                let _: () = self.recv_raw(src, tag);
+        // reduce phase: mirror image of the binomial broadcast below — each
+        // rank absorbs its subtree's tokens, then reports to its parent.
+        let mut mask = 1usize;
+        while mask < size {
+            if rank & mask != 0 {
+                self.send_raw(rank - mask, tag, ())?;
+                break;
             }
-        } else {
-            self.send_raw(0, tag, ());
+            if rank + mask < size {
+                self.recv_raw::<()>(rank + mask, tag)?;
+            }
+            mask <<= 1;
         }
         // release: binomial fan-out of an empty token
-        self.bcast_internal(0, if self.rank() == 0 { Some(()) } else { None }, tag | (1 << 62));
+        self.bcast_internal(0, if rank == 0 { Some(()) } else { None }, tag | (1 << 62))?;
+        Ok(())
     }
 
     /// Binomial-tree broadcast from `root`. The root passes `Some(data)`,
@@ -38,12 +59,17 @@ impl Comm {
     ///
     /// # Panics
     /// Panics if the root passes `None` or a non-root passes `Some`.
-    pub fn bcast<T: Payload + Clone>(&self, root: usize, data: Option<T>) -> T {
+    pub fn bcast<T: Payload + Clone>(&self, root: usize, data: Option<T>) -> Result<T, CommError> {
         let op = self.next_op();
         self.bcast_internal(root, data, INTERNAL_TAG | op)
     }
 
-    fn bcast_internal<T: Payload + Clone>(&self, root: usize, data: Option<T>, tag: u64) -> T {
+    fn bcast_internal<T: Payload + Clone>(
+        &self,
+        root: usize,
+        data: Option<T>,
+        tag: u64,
+    ) -> Result<T, CommError> {
         let (rank, size) = (self.rank(), self.size());
         assert_eq!(
             rank == root,
@@ -51,7 +77,7 @@ impl Comm {
             "exactly the root must supply the broadcast payload"
         );
         if size == 1 {
-            return data.expect("root payload");
+            return Ok(data.expect("root payload"));
         }
         let relative = (rank + size - root) % size;
 
@@ -61,7 +87,7 @@ impl Comm {
         while mask < size {
             if relative & mask != 0 {
                 let src = (relative - mask + root) % size;
-                value = Some(self.recv_raw::<T>(src, tag));
+                value = Some(self.recv_raw::<T>(src, tag)?);
                 break;
             }
             mask <<= 1;
@@ -72,23 +98,27 @@ impl Comm {
         while mask > 0 {
             if relative + mask < size {
                 let dst = (relative + mask + root) % size;
-                self.send_raw(dst, tag, value.clone());
+                self.send_raw(dst, tag, value.clone())?;
             }
             mask >>= 1;
         }
-        value
+        Ok(value)
     }
 
     /// Pipelined ring broadcast of a slice-able payload from `root`,
     /// split into `nchunks` chunks (§3.3). Bandwidth-optimal: each rank
     /// receives and forwards every byte exactly once. Returns the
     /// reassembled vector on every rank.
+    ///
+    /// Chunks travel as [`Arc`]s, so a forwarding rank passes the received
+    /// buffer on by reference count — one host copy per rank (the final
+    /// reassembly), not two.
     pub fn ring_bcast<T: Copy + Send + Sync + 'static>(
         &self,
         root: usize,
         data: Option<Vec<T>>,
         nchunks: usize,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, CommError> {
         let op = self.next_op();
         let tag = INTERNAL_TAG | op;
         let (rank, size) = (self.rank(), self.size());
@@ -98,7 +128,7 @@ impl Comm {
             "exactly the root must supply the ring-broadcast payload"
         );
         if size == 1 {
-            return data.expect("root payload");
+            return Ok(data.expect("root payload"));
         }
         let relative = (rank + size - root) % size;
         let succ = (rank + 1) % size;
@@ -111,36 +141,38 @@ impl Comm {
             let data = data.expect("root payload");
             let nchunks = nchunks.clamp(1, data.len().max(1));
             let chunk = data.len().div_ceil(nchunks).max(1);
-            self.send_raw(succ, hdr, nchunks as u64);
+            self.send_raw(succ, hdr, nchunks as u64)?;
             let mut sent = 0;
             for c in 0..nchunks {
                 let lo = (c * chunk).min(data.len());
                 let hi = ((c + 1) * chunk).min(data.len());
-                self.send_raw(succ, tag, data[lo..hi].to_vec());
+                self.send_raw(succ, tag, Arc::new(data[lo..hi].to_vec()))?;
                 sent += 1;
             }
             debug_assert_eq!(sent, nchunks);
-            data
+            Ok(data)
         } else {
-            let nchunks: u64 = self.recv_raw(pred, hdr);
+            let nchunks: u64 = self.recv_raw(pred, hdr)?;
             if !is_last {
-                self.send_raw(succ, hdr, nchunks);
+                self.send_raw(succ, hdr, nchunks)?;
             }
             let mut out = Vec::new();
             for _ in 0..nchunks {
-                let chunk: Vec<T> = self.recv_raw(pred, tag);
+                let chunk: Arc<Vec<T>> = self.recv_raw(pred, tag)?;
                 if !is_last {
-                    self.send_raw(succ, tag, chunk.clone());
+                    // forward by refcount *before* the local copy-out, so
+                    // the successor's receive overlaps our reassembly
+                    self.send_raw(succ, tag, chunk.clone())?;
                 }
                 out.extend_from_slice(&chunk);
             }
-            out
+            Ok(out)
         }
     }
 
     /// Gather one value from every rank to `root` (in rank order).
     /// Returns `Some(values)` at the root, `None` elsewhere.
-    pub fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: Payload>(&self, root: usize, value: T) -> Result<Option<Vec<T>>, CommError> {
         let op = self.next_op();
         let tag = INTERNAL_TAG | op;
         if self.rank() == root {
@@ -148,13 +180,13 @@ impl Comm {
             out[root] = Some(value);
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    *slot = Some(self.recv_raw(src, tag));
+                    *slot = Some(self.recv_raw(src, tag)?);
                 }
             }
-            Some(out.into_iter().map(|v| v.expect("gathered")).collect())
+            Ok(Some(out.into_iter().map(|v| v.expect("gathered")).collect()))
         } else {
-            self.send_raw(root, tag, value);
-            None
+            self.send_raw(root, tag, value)?;
+            Ok(None)
         }
     }
 
@@ -163,15 +195,19 @@ impl Comm {
     /// broadcast of the assembled vector: `2(p-1)` messages total, vs the
     /// `p` separate broadcasts (`p(p-1)` messages) of the naive formulation.
     /// The `Copy` bound is what gives `Vec<T>` its wire format.
-    pub fn allgather<T: Payload + Copy>(&self, value: T) -> Vec<T> {
-        let gathered = self.gather(0, value);
+    pub fn allgather<T: Payload + Copy>(&self, value: T) -> Result<Vec<T>, CommError> {
+        let gathered = self.gather(0, value)?;
         self.bcast(0, gathered)
     }
 
     /// Fold all ranks' values with `op` (applied in rank order) and return
     /// the result on every rank.
-    pub fn allreduce<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
-        let gathered = self.gather(0, value);
+    pub fn allreduce<T: Payload + Clone>(
+        &self,
+        value: T,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<T, CommError> {
+        let gathered = self.gather(0, value)?;
         let folded = gathered.map(|vs| {
             let mut it = vs.into_iter();
             let first = it.next().expect("non-empty communicator");
@@ -191,7 +227,7 @@ mod tests {
         for root in 0..5 {
             let out = Runtime::new(5).run(move |comm| {
                 let data = (comm.rank() == root).then(|| vec![root as u64, 99]);
-                comm.bcast(root, data)
+                comm.bcast(root, data).unwrap()
             });
             for v in out {
                 assert_eq!(v, vec![root as u64, 99]);
@@ -206,7 +242,7 @@ mod tests {
             let expect = payload.clone();
             let out = Runtime::new(7).run(move |comm| {
                 let data = (comm.rank() == root).then(|| payload.clone());
-                comm.ring_bcast(root, data, 8)
+                comm.ring_bcast(root, data, 8).unwrap()
             });
             for v in out {
                 assert_eq!(v, expect);
@@ -217,8 +253,8 @@ mod tests {
     #[test]
     fn ring_bcast_handles_tiny_and_empty_payloads() {
         let out = Runtime::new(3).run(|comm| {
-            let a = comm.ring_bcast(0, (comm.rank() == 0).then(|| vec![5u8]), 16);
-            let b = comm.ring_bcast(1, (comm.rank() == 1).then(Vec::<u8>::new), 4);
+            let a = comm.ring_bcast(0, (comm.rank() == 0).then(|| vec![5u8]), 16).unwrap();
+            let b = comm.ring_bcast(1, (comm.rank() == 1).then(Vec::<u8>::new), 4).unwrap();
             (a, b)
         });
         for (a, b) in out {
@@ -236,7 +272,7 @@ mod tests {
         let rt = Runtime::new(4);
         let (_, report) = rt.run_traced(move |comm| {
             let data = (comm.rank() == 0).then(|| payload.clone());
-            comm.ring_bcast(0, data, 4);
+            comm.ring_bcast(0, data, 4).unwrap();
         });
         // each of the 3 forwarding hops moves 1024 data bytes + an 8-byte
         // chunk-count header
@@ -255,7 +291,7 @@ mod tests {
         static PHASE1: AtomicUsize = AtomicUsize::new(0);
         let out = Runtime::new(6).run(|comm| {
             PHASE1.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             // after the barrier, everyone must have bumped the counter
             PHASE1.load(Ordering::SeqCst)
         });
@@ -265,8 +301,40 @@ mod tests {
     }
 
     #[test]
+    fn barrier_uses_logarithmic_fan_in() {
+        // binomial-reduction regression pin: 2(p-1) messages total, and —
+        // unlike the old linear gather, which funnelled p-1 receives into
+        // rank 0 — no rank receives more than ceil(log2 p) messages per
+        // phase. The per-rank message events from the trace expose ingress.
+        for p in [2usize, 4, 5, 7, 8] {
+            let rt = Runtime::new(p);
+            let (_, report, trace) = rt.run_with_trace(|comm| comm.barrier().unwrap());
+            assert_eq!(
+                report.total_msgs,
+                2 * (p as u64 - 1),
+                "barrier on {p} ranks must move exactly 2(p-1) messages"
+            );
+            let log2p = p.next_power_of_two().trailing_zeros() as usize;
+            let mut ingress = vec![0usize; p];
+            for tl in &trace.per_rank {
+                for e in &tl.events {
+                    ingress[e.dst_world] += 1;
+                }
+            }
+            for (r, n) in ingress.into_iter().enumerate() {
+                assert!(
+                    n <= log2p + 1,
+                    "barrier on {p} ranks: rank {r} received {n} messages, \
+                     expected at most ⌈log₂ p⌉ + 1 = {}",
+                    log2p + 1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn allgather_collects_in_rank_order() {
-        let out = Runtime::new(4).run(|comm| comm.allgather(comm.rank() as u64 * 10));
+        let out = Runtime::new(4).run(|comm| comm.allgather(comm.rank() as u64 * 10).unwrap());
         for v in out {
             assert_eq!(v, vec![0, 10, 20, 30]);
         }
@@ -279,7 +347,8 @@ mod tests {
         // broadcast-per-contributor formulation.
         for p in [2usize, 4, 7, 8] {
             let rt = Runtime::new(p);
-            let (out, report) = rt.run_traced(move |comm| comm.allgather(comm.rank() as u64));
+            let (out, report) =
+                rt.run_traced(move |comm| comm.allgather(comm.rank() as u64).unwrap());
             for v in out {
                 assert_eq!(v, (0..p as u64).collect::<Vec<_>>());
             }
@@ -295,8 +364,8 @@ mod tests {
     fn allreduce_min_and_sum() {
         let out = Runtime::new(5).run(|comm| {
             let r = comm.rank() as f64;
-            let min = comm.allreduce(r, f64::min);
-            let sum = comm.allreduce(r, |a, b| a + b);
+            let min = comm.allreduce(r, f64::min).unwrap();
+            let sum = comm.allreduce(r, |a, b| a + b).unwrap();
             (min, sum)
         });
         for (min, sum) in out {
@@ -308,9 +377,9 @@ mod tests {
     #[test]
     fn collectives_work_on_split_subcommunicators() {
         let out = Runtime::new(6).run(|comm| {
-            let row = comm.split((comm.rank() / 3) as u64, (comm.rank() % 3) as u64);
-            
-            row.allreduce(comm.rank() as u64, |a, b| a + b)
+            let row = comm.split((comm.rank() / 3) as u64, (comm.rank() % 3) as u64).unwrap();
+
+            row.allreduce(comm.rank() as u64, |a, b| a + b).unwrap()
         });
         assert_eq!(out[0], 1 + 2);
         assert_eq!(out[5], 3 + 4 + 5);
@@ -324,9 +393,9 @@ mod tests {
         let run = |placement: Placement| {
             let rt = Runtime::new(16).with_placement(placement);
             let (_, report) = rt.run_traced(|comm| {
-                let col = comm.split((comm.rank() % 4) as u64, (comm.rank() / 4) as u64);
+                let col = comm.split((comm.rank() % 4) as u64, (comm.rank() / 4) as u64).unwrap();
                 let data = (col.rank() == 0).then(|| vec![0u8; 4096]);
-                col.ring_bcast(0, data, 4);
+                col.ring_bcast(0, data, 4).unwrap();
             });
             report.total_nic_bytes()
         };

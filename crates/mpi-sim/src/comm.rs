@@ -8,7 +8,9 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::counters::Counters;
-use crate::p2p::Mailbox;
+use crate::error::{CommError, DeadlockReport};
+use crate::fault::{FaultState, SendFate};
+use crate::p2p::{Mailbox, RecvError};
 use crate::payload::Payload;
 use crate::placement::Placement;
 use crate::trace::{self, MsgEvent, Span, TraceState};
@@ -23,7 +25,8 @@ pub(crate) struct Shared {
     pub(crate) placement: Placement,
     pub(crate) recv_timeout: Duration,
     pub(crate) trace: Option<Arc<TraceState>>,
-    splits: Mutex<HashMap<(u64, u64), SplitSlot>>,
+    pub(crate) faults: Option<FaultState>,
+    splits: Mutex<SplitState>,
     splits_cv: Condvar,
     ctx_alloc: Mutex<CtxAlloc>,
 }
@@ -32,6 +35,14 @@ pub(crate) struct Shared {
 struct CtxAlloc {
     next: u64,
     by_origin: HashMap<(u64, u64, u64), u64>,
+}
+
+#[derive(Default)]
+struct SplitState {
+    slots: HashMap<(u64, u64), SplitSlot>,
+    /// World rank of the first failed rank, once the runtime poisons us —
+    /// wakes ranks blocked waiting for peers to reach a `split`.
+    poisoned: Option<usize>,
 }
 
 #[derive(Default)]
@@ -46,6 +57,7 @@ impl Shared {
         placement: Placement,
         recv_timeout: Duration,
         trace: Option<Arc<TraceState>>,
+        faults: Option<FaultState>,
     ) -> Self {
         assert_eq!(placement.num_ranks(), p, "placement covers a different rank count");
         Shared {
@@ -54,7 +66,8 @@ impl Shared {
             placement,
             recv_timeout,
             trace,
-            splits: Mutex::new(HashMap::new()),
+            faults,
+            splits: Mutex::new(SplitState::default()),
             splits_cv: Condvar::new(),
             ctx_alloc: Mutex::new(CtxAlloc { next: 1, by_origin: HashMap::new() }),
         }
@@ -71,6 +84,22 @@ impl Shared {
         alloc.next += 1;
         alloc.by_origin.insert((parent, op, color), id);
         id
+    }
+
+    /// Fail-fast fan-out after world rank `rank` failed: poison every
+    /// mailbox and the split table, waking every blocked rank immediately
+    /// with [`CommError::PeerFailed`] instead of letting them burn the full
+    /// receive timeout. The first failure wins attribution.
+    pub(crate) fn poison(&self, rank: usize) {
+        for mb in &self.mailboxes {
+            mb.poison(rank);
+        }
+        let mut splits = self.splits.lock();
+        if splits.poisoned.is_none() {
+            splits.poisoned = Some(rank);
+        }
+        drop(splits);
+        self.splits_cv.notify_all();
     }
 }
 
@@ -131,16 +160,33 @@ impl Comm {
 
     /// Buffered (non-blocking) tagged send to communicator rank `dst`.
     ///
+    /// Fails only under fault injection ([`CommError::Killed`] when the
+    /// plan kills this rank at this send).
+    ///
     /// # Panics
     /// Panics if `tag` uses the reserved top bit or `dst` is out of range.
-    pub fn send<T: Payload>(&self, dst: usize, tag: u64, msg: T) {
+    pub fn send<T: Payload>(&self, dst: usize, tag: u64, msg: T) -> Result<(), CommError> {
         assert!(tag & INTERNAL_TAG == 0, "user tags must not set the top bit");
         self.send_raw(dst, tag, msg)
     }
 
-    pub(crate) fn send_raw<T: Payload>(&self, dst: usize, tag: u64, msg: T) {
+    pub(crate) fn send_raw<T: Payload>(
+        &self,
+        dst: usize,
+        tag: u64,
+        msg: T,
+    ) -> Result<(), CommError> {
         let src_world = self.members[self.rank];
         let dst_world = self.members[dst];
+        let fate = match &self.shared.faults {
+            Some(fs) => fs.decide(src_world, self.ctx, tag),
+            None => SendFate::Deliver,
+        };
+        if fate == SendFate::Kill {
+            return Err(CommError::Killed { rank: src_world });
+        }
+        // Dropped and delayed messages still left this rank: charge them to
+        // the traffic counters and the trace like any other send.
         let bytes = msg.size_bytes();
         let phase = trace::current_phase();
         let nic = self
@@ -153,34 +199,60 @@ impl Comm {
                 MsgEvent { ts_us: tr.now_us(), dst_world, bytes, nic, phase },
             );
         }
-        self.shared.mailboxes[dst_world].deliver((self.ctx, self.rank, tag), bytes, Box::new(msg));
+        let key = (self.ctx, self.rank, tag);
+        match fate {
+            SendFate::Deliver => {
+                self.shared.mailboxes[dst_world].deliver(key, bytes, Box::new(msg));
+            }
+            SendFate::Drop => {}
+            SendFate::Delay(by) => {
+                let shared = self.shared.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(by);
+                    shared.mailboxes[dst_world].deliver(key, bytes, Box::new(msg));
+                });
+            }
+            SendFate::Kill => unreachable!("kill returns above"),
+        }
+        Ok(())
     }
 
     /// Blocking tagged receive from communicator rank `src`.
-    pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
+    ///
+    /// Fails with [`CommError::RecvTimeout`] (structured deadlock report)
+    /// when the message never arrives, [`CommError::PeerFailed`] when the
+    /// runtime poisons the mailboxes after another rank fails, or
+    /// [`CommError::PayloadTypeMismatch`] on a mismatched send/recv pair.
+    pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         assert!(tag & INTERNAL_TAG == 0, "user tags must not set the top bit");
         self.recv_raw(src, tag)
     }
 
-    pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
+    pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         let my_world = self.members[self.rank];
-        match self.shared.mailboxes[my_world].recv::<T>((self.ctx, src, tag), self.shared.recv_timeout) {
-            Ok((value, _)) => value,
-            Err(timeout) => panic!(
-                "recv timed out after {:?}: rank {} (world {}) blocked waiting for a message \
-                 from rank {} (world {}) on ctx={} tag={} during phase {}; mailbox holds {} \
-                 unrelated message(s): {:?} — distributed deadlock?",
-                self.shared.recv_timeout,
-                self.rank,
-                my_world,
+        match self.shared.mailboxes[my_world].recv::<T>((self.ctx, src, tag), self.shared.recv_timeout)
+        {
+            Ok((value, _)) => Ok(value),
+            Err(RecvError::Timeout(timeout)) => {
+                Err(CommError::RecvTimeout(Box::new(DeadlockReport {
+                    timeout: self.shared.recv_timeout,
+                    rank: self.rank,
+                    world_rank: my_world,
+                    src,
+                    src_world: self.members.get(src).copied().unwrap_or(usize::MAX),
+                    ctx: self.ctx,
+                    tag: tag & !INTERNAL_TAG,
+                    phase: trace::current_phase(),
+                    pending: timeout.pending,
+                })))
+            }
+            Err(RecvError::PeerFailed { rank }) => Err(CommError::PeerFailed { rank }),
+            Err(RecvError::TypeMismatch { expected }) => Err(CommError::PayloadTypeMismatch {
+                ctx: self.ctx,
                 src,
-                self.members.get(src).copied().unwrap_or(usize::MAX),
-                self.ctx,
-                tag & !INTERNAL_TAG,
-                trace::current_phase().unwrap_or("(none)"),
-                timeout.pending.len(),
-                timeout.pending,
-            ),
+                tag: tag & !INTERNAL_TAG,
+                expected,
+            }),
         }
     }
 
@@ -208,33 +280,53 @@ impl Comm {
 
     /// Collective: partition members by `color`; within a color, ranks are
     /// ordered by `(key, parent rank)`. Returns this rank's sub-communicator.
-    pub fn split(&self, color: u64, key: u64) -> Comm {
+    ///
+    /// Fails with [`CommError::SplitTimeout`] when not every member reaches
+    /// the call before the receive timeout, or [`CommError::PeerFailed`]
+    /// when another rank fails while this one waits.
+    pub fn split(&self, color: u64, key: u64) -> Result<Comm, CommError> {
         let op = self.next_op();
         let slot_key = (self.ctx, op);
         let world = self.members[self.rank];
         let parent_size = self.size();
         {
             let mut splits = self.shared.splits.lock();
-            let slot = splits.entry(slot_key).or_default();
+            if let Some(rank) = splits.poisoned {
+                return Err(CommError::PeerFailed { rank });
+            }
+            let slot = splits.slots.entry(slot_key).or_default();
             slot.entries.push((color, key, world, self.rank));
             if slot.entries.len() == parent_size {
                 self.shared.splits_cv.notify_all();
             } else {
-                while splits.get(&slot_key).map(|s| s.entries.len()) != Some(parent_size) {
+                loop {
+                    if splits.slots.get(&slot_key).map(|s| s.entries.len()) == Some(parent_size) {
+                        break;
+                    }
+                    if let Some(rank) = splits.poisoned {
+                        return Err(CommError::PeerFailed { rank });
+                    }
                     if self
                         .shared
                         .splits_cv
                         .wait_for(&mut splits, self.shared.recv_timeout)
                         .timed_out()
                     {
-                        panic!("split timed out: not all ranks reached the split call");
+                        let arrived =
+                            splits.slots.get(&slot_key).map_or(0, |s| s.entries.len());
+                        return Err(CommError::SplitTimeout {
+                            ctx: self.ctx,
+                            op,
+                            arrived,
+                            expected: parent_size,
+                        });
                     }
                 }
             }
         }
         // read phase: slot complete; compute my sub-communicator
         let splits = self.shared.splits.lock();
-        let slot = &splits[&slot_key];
+        let slot = &splits.slots[&slot_key];
         let mut mine: Vec<(u64, usize, usize)> = slot
             .entries
             .iter()
@@ -245,13 +337,13 @@ impl Comm {
         mine.sort_unstable();
         let members: Vec<usize> = mine.iter().map(|&(_, _, w)| w).collect();
         let my_rank = members.iter().position(|&w| w == world).expect("self in split");
-        Comm {
+        Ok(Comm {
             ctx: self.shared.ctx_for(self.ctx, op, color),
             rank: my_rank,
             members: Arc::new(members),
             shared: self.shared.clone(),
             op_seq: Cell::new(0),
-        }
+        })
     }
 }
 
@@ -275,17 +367,18 @@ impl Drop for PhaseGuard {
 
 #[cfg(test)]
 mod tests {
-    use crate::runtime::Runtime;
+    use crate::error::CommError;
+    use crate::runtime::{FailureKind, Runtime};
     use std::time::Duration;
 
     #[test]
     fn send_recv_between_ranks() {
         let out = Runtime::new(2).run(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 5, vec![1.0f32, 2.0]);
+                comm.send(1, 5, vec![1.0f32, 2.0]).unwrap();
                 0.0
             } else {
-                let v: Vec<f32> = comm.recv(0, 5);
+                let v: Vec<f32> = comm.recv(0, 5).unwrap();
                 v.iter().sum::<f32>()
             }
         });
@@ -296,13 +389,13 @@ mod tests {
     fn tags_demultiplex_out_of_order_sends() {
         let out = Runtime::new(2).run(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, 10u64);
-                comm.send(1, 2, 20u64);
+                comm.send(1, 1, 10u64).unwrap();
+                comm.send(1, 2, 20u64).unwrap();
                 0
             } else {
                 // receive in the opposite order of sending
-                let b: u64 = comm.recv(0, 2);
-                let a: u64 = comm.recv(0, 1);
+                let b: u64 = comm.recv(0, 2).unwrap();
+                let a: u64 = comm.recv(0, 1).unwrap();
                 a * 100 + b
             }
         });
@@ -315,7 +408,7 @@ mod tests {
         let out = Runtime::new(6).run(|comm| {
             let color = (comm.rank() / 3) as u64;
             let key = (comm.rank() % 3) as u64;
-            let sub = comm.split(color, key);
+            let sub = comm.split(color, key).unwrap();
             // ring of partial sums inside the sub-communicator
             (sub.size(), sub.rank(), sub.world_rank_of(0))
         });
@@ -328,16 +421,16 @@ mod tests {
     fn split_subcomm_messages_do_not_leak_across_colors() {
         let out = Runtime::new(4).run(|comm| {
             let color = (comm.rank() % 2) as u64;
-            let sub = comm.split(color, comm.rank() as u64);
+            let sub = comm.split(color, comm.rank() as u64).unwrap();
             if sub.rank() == 0 {
-                comm.barrier(); // let both sends happen before receives
-                sub.send(1, 3, (color + 1) * 111);
-                comm.barrier();
+                comm.barrier().unwrap(); // let both sends happen before receives
+                sub.send(1, 3, (color + 1) * 111).unwrap();
+                comm.barrier().unwrap();
                 0
             } else {
-                comm.barrier();
-                comm.barrier();
-                sub.recv::<u64>(0, 3)
+                comm.barrier().unwrap();
+                comm.barrier().unwrap();
+                sub.recv::<u64>(0, 3).unwrap()
             }
         });
         // ranks 2 and 3 are rank 1 of their color's subcomm
@@ -357,12 +450,12 @@ mod tests {
             if comm.rank() == 0 {
                 {
                     let _p = comm.phase("PanelBcast");
-                    comm.send(1, 1, vec![0u8; 256]);
+                    comm.send(1, 1, vec![0u8; 256]).unwrap();
                 }
-                let _: Vec<u8> = comm.recv(1, 2);
+                let _: Vec<u8> = comm.recv(1, 2).unwrap();
             } else {
-                let _: Vec<u8> = comm.recv(0, 1);
-                comm.send(0, 2, vec![0u8; 16]); // outside any phase
+                let _: Vec<u8> = comm.recv(0, 1).unwrap();
+                comm.send(0, 2, vec![0u8; 16]).unwrap(); // outside any phase
             }
         });
         assert_eq!(report.phase_nic_bytes("PanelBcast"), 256);
@@ -372,28 +465,74 @@ mod tests {
 
     #[test]
     fn deadlock_report_names_rank_peer_tag_and_phase() {
-        // rank 1 blocks on a message rank 0 never sends; the structured
-        // report must name the blocked rank, the peer, the tag and the
-        // phase that was open at the time.
+        // rank 1 blocks on a message rank 0 never sends; the typed error
+        // must name the blocked rank, the peer, the tag and the phase that
+        // was open at the time — as a value, not a panic.
         let rt = Runtime::new(2).with_recv_timeout(Duration::from_millis(30));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rt.run(|comm| {
+        let err = rt
+            .try_run(|comm| -> Result<(), CommError> {
                 if comm.rank() == 1 {
                     let _p = comm.phase("OuterUpdate");
-                    let _: u64 = comm.recv(0, 42);
+                    let _: u64 = comm.recv(0, 42)?;
                 }
-            });
-        }));
-        let payload = result.expect_err("the deadlocked run must panic");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .expect("panic payload is the formatted report");
+                Ok(())
+            })
+            .expect_err("the deadlocked run must fail");
+        let first = err.first();
+        assert_eq!(first.rank, 1);
+        let FailureKind::App(CommError::RecvTimeout(report)) = &first.error else {
+            panic!("expected a recv timeout, got {:?}", first.error)
+        };
+        assert_eq!(report.timeout, Duration::from_millis(30));
+        assert_eq!((report.rank, report.world_rank), (1, 1));
+        assert_eq!((report.src, report.src_world), (0, 0));
+        assert_eq!(report.tag, 42);
+        assert_eq!(report.phase, Some("OuterUpdate"));
+        let msg = format!("{err}");
         assert!(msg.contains("recv timed out after 30ms"), "{msg}");
-        assert!(msg.contains("rank 1 (world 1)"), "{msg}");
-        assert!(msg.contains("from rank 0 (world 0)"), "{msg}");
-        assert!(msg.contains("tag=42"), "{msg}");
         assert!(msg.contains("during phase OuterUpdate"), "{msg}");
         assert!(msg.contains("distributed deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn split_timeout_is_a_typed_error() {
+        // rank 0 never calls split, so rank 1's split cannot complete.
+        let rt = Runtime::new(2).with_recv_timeout(Duration::from_millis(30));
+        let err = rt
+            .try_run(|comm| -> Result<(), CommError> {
+                if comm.rank() == 1 {
+                    let _sub = comm.split(0, 0)?;
+                }
+                Ok(())
+            })
+            .expect_err("the split must time out");
+        let first = err.first();
+        let FailureKind::App(CommError::SplitTimeout { arrived, expected, .. }) = &first.error
+        else {
+            panic!("expected a split timeout, got {:?}", first.error)
+        };
+        assert_eq!((*arrived, *expected), (1, 2));
+        assert!(format!("{err}").contains("split timed out"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_surfaces_as_typed_error() {
+        let err = Runtime::new(2)
+            .try_run(|comm| -> Result<(), CommError> {
+                if comm.rank() == 0 {
+                    comm.send(1, 3, 1u32)?;
+                } else {
+                    let _: f64 = comm.recv(0, 3)?;
+                }
+                Ok(())
+            })
+            .expect_err("mismatched send/recv pair");
+        let FailureKind::App(CommError::PayloadTypeMismatch { tag, expected, .. }) =
+            &err.first().error
+        else {
+            panic!("expected a type mismatch, got {:?}", err.first().error)
+        };
+        assert_eq!(*tag, 3);
+        assert_eq!(*expected, "f64");
     }
 }

@@ -1,6 +1,7 @@
 //! 2-D process grids and block-cyclic ownership (paper §2.5.1).
 
 use crate::comm::Comm;
+use crate::error::CommError;
 
 /// A `P_r × P_c` process grid layered over a communicator, with row and
 /// column sub-communicators. Grid coordinates are row-major:
@@ -19,17 +20,18 @@ pub struct ProcessGrid {
 
 impl ProcessGrid {
     /// Build the grid collectively. Every member of `comm` must call this
-    /// with the same `(pr, pc)`.
+    /// with the same `(pr, pc)`. Fails if either underlying `split` fails
+    /// (peer failure or split timeout).
     ///
     /// # Panics
     /// Panics if `pr · pc != comm.size()`.
-    pub fn new(comm: Comm, pr: usize, pc: usize) -> Self {
+    pub fn new(comm: Comm, pr: usize, pc: usize) -> Result<Self, CommError> {
         assert_eq!(pr * pc, comm.size(), "grid dims must cover the communicator");
         let my_r = comm.rank() / pc;
         let my_c = comm.rank() % pc;
-        let row = comm.split(my_r as u64, my_c as u64);
-        let col = comm.split((pr as u64) + my_c as u64, my_r as u64);
-        ProcessGrid { grid: comm, row, col, pr, pc }
+        let row = comm.split(my_r as u64, my_c as u64)?;
+        let col = comm.split((pr as u64) + my_c as u64, my_r as u64)?;
+        Ok(ProcessGrid { grid: comm, row, col, pr, pc })
     }
 
     /// `(P_r, P_c)`.
@@ -91,7 +93,7 @@ mod tests {
     #[test]
     fn coordinates_and_subcomms_line_up() {
         let out = Runtime::new(6).run(|comm| {
-            let g = ProcessGrid::new(comm, 2, 3);
+            let g = ProcessGrid::new(comm, 2, 3).unwrap();
             let (r, c) = g.coords();
             (r, c, g.row.rank(), g.row.size(), g.col.rank(), g.col.size())
         });
@@ -104,7 +106,7 @@ mod tests {
     #[test]
     fn block_cyclic_ownership() {
         let out = Runtime::new(4).run(|comm| {
-            let g = ProcessGrid::new(comm, 2, 2);
+            let g = ProcessGrid::new(comm, 2, 2).unwrap();
             (g.block_owner(0, 0), g.block_owner(3, 2), g.block_owner(5, 5))
         });
         for &(a, b, c) in &out {
@@ -117,7 +119,7 @@ mod tests {
     #[test]
     fn my_block_rows_stride_by_pr() {
         let out = Runtime::new(6).run(|comm| {
-            let g = ProcessGrid::new(comm, 2, 3);
+            let g = ProcessGrid::new(comm, 2, 3).unwrap();
             g.my_block_rows(7)
         });
         assert_eq!(out[0], vec![0, 2, 4, 6]); // grid row 0
@@ -127,10 +129,10 @@ mod tests {
     #[test]
     fn row_comm_exchanges_stay_in_row() {
         let out = Runtime::new(4).run(|comm| {
-            let g = ProcessGrid::new(comm, 2, 2);
+            let g = ProcessGrid::new(comm, 2, 2).unwrap();
             // row broadcast: column 0 member broadcasts its grid rank
             let data = (g.row.rank() == 0).then(|| g.grid.rank() as u64);
-            g.row.bcast(0, data)
+            g.row.bcast(0, data).unwrap()
         });
         assert_eq!(out, vec![0, 0, 2, 2]);
     }

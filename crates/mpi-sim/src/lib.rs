@@ -19,6 +19,14 @@
 //!   lower bound `t_w · (n²·Q_r/P_r + n²·Q_c/P_c)` can be *measured* on real
 //!   runs instead of asserted.
 //!
+//! Failure is fail-fast and typed: receives and collectives return
+//! [`error::CommError`] (structured deadlock reports, peer-failure
+//! notifications) instead of panicking, [`Runtime::try_run`] reports
+//! per-rank outcomes as a [`runtime::RunError`], and the moment one rank
+//! fails every blocked peer is woken by mailbox poisoning. A deterministic
+//! [`fault::FaultPlan`] can kill a rank or drop/delay one message to
+//! exercise exactly those paths.
+//!
 //! ## Example
 //!
 //! ```
@@ -27,7 +35,7 @@
 //! // 4 ranks: everybody learns rank 0's payload via binomial broadcast.
 //! let results = Runtime::new(4).run(|comm| {
 //!     let data = if comm.rank() == 0 { Some(vec![1.0f32, 2.0, 3.0]) } else { None };
-//!     comm.bcast(0, data)
+//!     comm.bcast(0, data).unwrap()
 //! });
 //! assert!(results.iter().all(|v| v == &[1.0, 2.0, 3.0]));
 //! ```
@@ -35,6 +43,8 @@
 pub mod collectives;
 pub mod comm;
 pub mod counters;
+pub mod error;
+pub mod fault;
 pub mod grid;
 pub mod p2p;
 pub mod payload;
@@ -44,8 +54,11 @@ pub mod trace;
 
 pub use comm::{Comm, PhaseGuard};
 pub use counters::{PhaseTraffic, TrafficReport};
+pub use error::{CommError, DeadlockReport};
+pub use fault::{FaultAction, FaultPlan};
 pub use grid::ProcessGrid;
+pub use p2p::MatchKey;
 pub use payload::Payload;
 pub use placement::Placement;
-pub use runtime::Runtime;
+pub use runtime::{FailureKind, RankFailure, RunError, Runtime};
 pub use trace::{MsgEvent, RankTimeline, RunTrace, Span, PHASES};

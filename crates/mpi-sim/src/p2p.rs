@@ -4,7 +4,9 @@
 //! message sizes the FW algorithms use between pipeline stages. Receives
 //! block until a message with the requested `(context, source, tag)` key is
 //! present, with a configurable timeout that converts distributed deadlocks
-//! into immediate test failures instead of hangs.
+//! into typed errors instead of hangs — and a *poison* path that wakes every
+//! blocked receiver immediately when some rank fails, so one failure never
+//! costs the rest of the job a full timeout.
 
 use std::any::Any;
 use std::time::Duration;
@@ -12,7 +14,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 /// Matching key: (communicator context, source rank in that communicator, tag).
-pub(crate) type MatchKey = (u64, usize, u64);
+pub type MatchKey = (u64, usize, u64);
 
 /// A receive gave up waiting (suspected distributed deadlock). Carries the
 /// keys still queued in the mailbox so the caller's report can show what
@@ -23,16 +25,39 @@ pub(crate) struct RecvTimeout {
     pub(crate) pending: Vec<MatchKey>,
 }
 
+/// Why a mailbox receive failed. [`crate::Comm::recv`] converts these into
+/// the public [`crate::CommError`] variants, adding the rank/phase context
+/// this layer cannot know.
+#[derive(Clone, Debug)]
+pub(crate) enum RecvError {
+    /// Timed out with no matching message (suspected deadlock).
+    Timeout(RecvTimeout),
+    /// The runtime poisoned this mailbox because `rank` (world) failed.
+    PeerFailed { rank: usize },
+    /// A matching message arrived but its payload was not a `T`.
+    TypeMismatch {
+        /// `std::any::type_name` of the expected payload type.
+        expected: &'static str,
+    },
+}
+
 struct Envelope {
     key: MatchKey,
     bytes: usize,
     payload: Box<dyn Any + Send>,
 }
 
+#[derive(Default)]
+struct QueueState {
+    queue: Vec<Envelope>,
+    /// World rank of the first failed rank, once the runtime poisons us.
+    poisoned: Option<usize>,
+}
+
 /// One rank's incoming-message queue.
 #[derive(Default)]
 pub(crate) struct Mailbox {
-    queue: Mutex<Vec<Envelope>>,
+    state: Mutex<QueueState>,
     cv: Condvar,
 }
 
@@ -43,53 +68,60 @@ impl Mailbox {
 
     /// Deposit a message (called by the *sender's* thread).
     pub(crate) fn deliver(&self, key: MatchKey, bytes: usize, payload: Box<dyn Any + Send>) {
-        let mut q = self.queue.lock();
-        q.push(Envelope { key, bytes, payload });
+        let mut q = self.state.lock();
+        q.queue.push(Envelope { key, bytes, payload });
         self.cv.notify_all();
     }
 
-    /// Blocking receive of the first message matching `key`. Returns
-    /// [`RecvTimeout`] after `timeout` (suspected deadlock); the caller —
-    /// [`crate::Comm::recv`] — turns that into a structured report naming
-    /// the blocked rank, its peer and the open trace phase, which this
-    /// layer cannot know.
-    ///
-    /// # Panics
-    /// Panics if the payload type does not match `T` (mismatched send/recv
-    /// pair — a program bug, not a deadlock).
+    /// Mark the mailbox as poisoned by the failure of world rank `rank` and
+    /// wake every blocked receiver. The first poisoner wins (first-failure
+    /// attribution); queued messages still drain before the poison is
+    /// observed, so ranks that already have their data can finish.
+    pub(crate) fn poison(&self, rank: usize) {
+        let mut q = self.state.lock();
+        if q.poisoned.is_none() {
+            q.poisoned = Some(rank);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `key`. Matching
+    /// queued messages are always drained first; otherwise a poisoned
+    /// mailbox fails immediately with [`RecvError::PeerFailed`], and an
+    /// expired `timeout` yields [`RecvError::Timeout`] (suspected
+    /// deadlock). A payload of the wrong type is
+    /// [`RecvError::TypeMismatch`] — a program bug, not a deadlock.
     pub(crate) fn recv<T: Send + 'static>(
         &self,
         key: MatchKey,
         timeout: Duration,
-    ) -> Result<(T, usize), RecvTimeout> {
-        let mut q = self.queue.lock();
+    ) -> Result<(T, usize), RecvError> {
+        let mut q = self.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.key == key) {
-                let env = q.remove(pos);
+            if let Some(pos) = q.queue.iter().position(|e| e.key == key) {
+                let env = q.queue.remove(pos);
                 let bytes = env.bytes;
-                let payload = env
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| {
-                        panic!(
-                            "type mismatch on recv: ctx={} src={} tag={} expected {}",
-                            key.0,
-                            key.1,
-                            key.2,
-                            std::any::type_name::<T>()
-                        )
-                    });
-                return Ok((*payload, bytes));
+                return match env.payload.downcast::<T>() {
+                    Ok(payload) => Ok((*payload, bytes)),
+                    Err(_) => {
+                        Err(RecvError::TypeMismatch { expected: std::any::type_name::<T>() })
+                    }
+                };
+            }
+            if let Some(rank) = q.poisoned {
+                return Err(RecvError::PeerFailed { rank });
             }
             if self.cv.wait_for(&mut q, timeout).timed_out() {
-                return Err(RecvTimeout { pending: q.iter().map(|e| e.key).collect() });
+                return Err(RecvError::Timeout(RecvTimeout {
+                    pending: q.queue.iter().map(|e| e.key).collect(),
+                }));
             }
         }
     }
 
     /// Non-blocking probe: is a matching message queued?
     pub(crate) fn probe(&self, key: MatchKey) -> bool {
-        self.queue.lock().iter().any(|e| e.key == key)
+        self.state.lock().queue.iter().any(|e| e.key == key)
     }
 }
 
@@ -138,14 +170,59 @@ mod tests {
         let err = mb
             .recv::<u32>((0, 0, 0), Duration::from_millis(10))
             .expect_err("nothing matching ever arrives");
-        assert_eq!(err.pending, vec![(0, 3, 9)]);
+        match err {
+            RecvError::Timeout(t) => assert_eq!(t.pending, vec![(0, 3, 9)]),
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "type mismatch")]
-    fn type_mismatch_panics() {
+    fn type_mismatch_is_a_typed_error() {
         let mb = Mailbox::new();
         mb.deliver((0, 0, 0), 4, Box::new(1u32));
-        let _ = mb.recv::<f32>((0, 0, 0), Duration::from_secs(1));
+        let err = mb.recv::<f32>((0, 0, 0), Duration::from_secs(1)).unwrap_err();
+        match err {
+            RecvError::TypeMismatch { expected } => assert_eq!(expected, "f32"),
+            other => panic!("expected type mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_wakes_a_blocked_receiver_immediately() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let t = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let err = mb2.recv::<u64>((0, 0, 0), Duration::from_secs(30)).unwrap_err();
+            (err, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.poison(5);
+        let (err, waited) = t.join().unwrap();
+        match err {
+            RecvError::PeerFailed { rank } => assert_eq!(rank, 5),
+            other => panic!("expected peer failure, got {other:?}"),
+        }
+        assert!(waited < Duration::from_secs(5), "woke in {waited:?}, not at the timeout");
+    }
+
+    #[test]
+    fn queued_messages_drain_before_poison_is_seen() {
+        let mb = Mailbox::new();
+        mb.deliver((0, 0, 0), 4, Box::new(11u32));
+        mb.poison(2);
+        let (got, _) = mb.recv::<u32>((0, 0, 0), Duration::from_secs(1)).unwrap();
+        assert_eq!(got, 11);
+        let err = mb.recv::<u32>((0, 0, 0), Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, RecvError::PeerFailed { rank: 2 }));
+    }
+
+    #[test]
+    fn first_poisoner_wins() {
+        let mb = Mailbox::new();
+        mb.poison(1);
+        mb.poison(3);
+        let err = mb.recv::<u32>((0, 0, 0), Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, RecvError::PeerFailed { rank: 1 }));
     }
 }

@@ -15,6 +15,15 @@ impl<T: Copy + Send + 'static> Payload for Vec<T> {
     }
 }
 
+/// Shared buffers move by reference count — a forwarding rank in
+/// [`crate::Comm::ring_bcast`] re-sends the chunk it received without
+/// copying the bytes — but the wire size is still the full payload.
+impl<T: Copy + Send + Sync + 'static> Payload for std::sync::Arc<Vec<T>> {
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<T>() * self.len()
+    }
+}
+
 macro_rules! impl_payload_scalar {
     ($($t:ty),*) => {
         $(impl Payload for $t {
@@ -48,6 +57,12 @@ mod tests {
         assert_eq!(vec![0f32; 10].size_bytes(), 40);
         assert_eq!(vec![0f64; 10].size_bytes(), 80);
         assert_eq!(Vec::<u8>::new().size_bytes(), 0);
+    }
+
+    #[test]
+    fn arc_vec_counts_inner_bytes() {
+        assert_eq!(std::sync::Arc::new(vec![0f32; 10]).size_bytes(), 40);
+        assert_eq!(std::sync::Arc::new(Vec::<u64>::new()).size_bytes(), 0);
     }
 
     #[test]

@@ -1,5 +1,16 @@
 //! Runtime: spawn a thread per rank and run an SPMD closure.
+//!
+//! Failure is a first-class outcome: the `try_run*` entry points return a
+//! typed [`RunError`] with per-rank failures in the order they happened
+//! (first entry = first failure), and the moment any rank fails — returns
+//! an error *or* panics — the runtime poisons every mailbox so blocked
+//! peers wake immediately with [`crate::CommError::PeerFailed`] instead of
+//! burning the full receive timeout. The panic-flavoured `run*` wrappers
+//! keep the old ergonomics for tests.
 
+use std::any::Any;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -7,8 +18,88 @@ use parking_lot::Mutex;
 
 use crate::comm::{Comm, Shared};
 use crate::counters::TrafficReport;
+use crate::error::CommError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::placement::Placement;
 use crate::trace::{RunTrace, TraceState};
+
+/// Why one rank failed.
+#[derive(Clone, PartialEq, Eq)]
+pub enum FailureKind<E> {
+    /// The rank's closure returned this error.
+    App(E),
+    /// The rank's closure panicked; the payload rendered as a string.
+    Panic(String),
+}
+
+impl<E: fmt::Display> fmt::Display for FailureKind<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::App(e) => fmt::Display::fmt(e, f),
+            FailureKind::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Debug for FailureKind<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// One rank's failure.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RankFailure<E> {
+    /// World rank that failed.
+    pub rank: usize,
+    /// What went wrong on it.
+    pub error: FailureKind<E>,
+}
+
+/// A failed SPMD run: every rank that failed, in the order the failures
+/// were observed — `failures[0]` is the *first* failure, the one that
+/// (via mailbox poisoning) usually caused the rest.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RunError<E> {
+    /// Per-rank failures in observation order (never empty).
+    pub failures: Vec<RankFailure<E>>,
+}
+
+impl<E> RunError<E> {
+    /// The first failure — the root cause under first-failure attribution.
+    pub fn first(&self) -> &RankFailure<E> {
+        &self.failures[0]
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for RunError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let first = self.first();
+        write!(f, "rank {} failed: {}", first.rank, first.error)?;
+        if self.failures.len() > 1 {
+            write!(f, " ({} more rank(s) failed after it)", self.failures.len() - 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl<E: fmt::Display> fmt::Debug for RunError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl<E: fmt::Display> std::error::Error for RunError<E> {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
 
 /// Configures and launches an SPMD job. Each rank runs the user closure on
 /// its own OS thread with a [`Comm`] world communicator.
@@ -16,6 +107,7 @@ pub struct Runtime {
     p: usize,
     placement: Placement,
     recv_timeout: Duration,
+    faults: FaultPlan,
 }
 
 impl Runtime {
@@ -27,6 +119,7 @@ impl Runtime {
             p,
             placement: Placement::one_rank_per_node(p),
             recv_timeout: Duration::from_secs(30),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -46,7 +139,17 @@ impl Runtime {
         self
     }
 
+    /// Attach a deterministic fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Run the SPMD closure; returns per-rank results in rank order.
+    ///
+    /// # Panics
+    /// Panics with the [`RunError`] report if any rank fails (deadlock
+    /// timeout, injected fault, or a panic inside the closure).
     pub fn run<R: Send>(&self, f: impl Fn(Comm) -> R + Send + Sync) -> Vec<R> {
         self.run_traced(f).0
     }
@@ -56,8 +159,12 @@ impl Runtime {
         &self,
         f: impl Fn(Comm) -> R + Send + Sync,
     ) -> (Vec<R>, TrafficReport) {
-        let (out, traffic, _) = self.run_inner(f, None);
-        (out, traffic)
+        let (out, traffic, _) =
+            self.try_run_inner(move |comm| Ok::<R, CommError>(f(comm)), None);
+        match out {
+            Ok(v) => (v, traffic),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Like [`Runtime::run_traced`] but additionally records a full
@@ -69,23 +176,66 @@ impl Runtime {
         f: impl Fn(Comm) -> R + Send + Sync,
     ) -> (Vec<R>, TrafficReport, RunTrace) {
         let state = Arc::new(TraceState::new(self.p));
-        let (out, traffic, trace) = self.run_inner(f, Some(state));
+        let (out, traffic, trace) =
+            self.try_run_inner(move |comm| Ok::<R, CommError>(f(comm)), Some(state));
+        match out {
+            Ok(v) => (v, traffic, trace.expect("trace state was attached")),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run a fallible SPMD closure; returns per-rank results in rank order,
+    /// or a [`RunError`] naming every failed rank (first failure first).
+    /// The instant any rank fails, all mailboxes are poisoned so the other
+    /// ranks fail fast with [`CommError::PeerFailed`] rather than waiting
+    /// out their receive timeouts.
+    pub fn try_run<R: Send, E: Send>(
+        &self,
+        f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
+    ) -> Result<Vec<R>, RunError<E>> {
+        self.try_run_inner(f, None).0
+    }
+
+    /// Like [`Runtime::try_run`] but also returns the traffic report
+    /// (counted even for a failed run — the bytes were sent).
+    pub fn try_run_traced<R: Send, E: Send>(
+        &self,
+        f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
+    ) -> (Result<Vec<R>, RunError<E>>, TrafficReport) {
+        let (out, traffic, _) = self.try_run_inner(f, None);
+        (out, traffic)
+    }
+
+    /// Like [`Runtime::try_run_traced`] but additionally records a full
+    /// [`RunTrace`] (also returned for failed runs, where it shows how far
+    /// each rank got).
+    pub fn try_run_with_trace<R: Send, E: Send>(
+        &self,
+        f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
+    ) -> (Result<Vec<R>, RunError<E>>, TrafficReport, RunTrace) {
+        let state = Arc::new(TraceState::new(self.p));
+        let (out, traffic, trace) = self.try_run_inner(f, Some(state));
         (out, traffic, trace.expect("trace state was attached"))
     }
 
-    fn run_inner<R: Send>(
+    fn try_run_inner<R: Send, E: Send>(
         &self,
-        f: impl Fn(Comm) -> R + Send + Sync,
+        f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
         trace: Option<Arc<TraceState>>,
-    ) -> (Vec<R>, TrafficReport, Option<RunTrace>) {
+    ) -> (Result<Vec<R>, RunError<E>>, TrafficReport, Option<RunTrace>) {
+        let faults = (!self.faults.is_empty())
+            .then(|| FaultState::new(self.faults.clone(), self.p));
         let shared = Arc::new(Shared::new(
             self.p,
             self.placement.clone(),
             self.recv_timeout,
             trace.clone(),
+            faults,
         ));
         let results: Vec<Mutex<Option<R>>> = (0..self.p).map(|_| Mutex::new(None)).collect();
+        let failures: Mutex<Vec<RankFailure<E>>> = Mutex::new(Vec::new());
         let f = &f;
+        let failures_ref = &failures;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.p);
@@ -95,30 +245,60 @@ impl Runtime {
                     std::thread::Builder::new()
                         .name(format!("rank-{rank}"))
                         .spawn_scoped(scope, move || {
-                            let comm = Comm::world(shared, rank);
-                            *slot.lock() = Some(f(comm));
+                            let comm = Comm::world(shared.clone(), rank);
+                            // catch_unwind keeps one rank's panic from
+                            // unwinding through the scope while peers are
+                            // still blocked (the old double-panic abort).
+                            match std::panic::catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                                Ok(Ok(r)) => *slot.lock() = Some(r),
+                                Ok(Err(e)) => {
+                                    // record before poisoning so the root
+                                    // cause always precedes the PeerFailed
+                                    // wakeups it triggers
+                                    failures_ref
+                                        .lock()
+                                        .push(RankFailure { rank, error: FailureKind::App(e) });
+                                    shared.poison(rank);
+                                }
+                                Err(payload) => {
+                                    let msg = panic_message(payload.as_ref());
+                                    failures_ref
+                                        .lock()
+                                        .push(RankFailure { rank, error: FailureKind::Panic(msg) });
+                                    shared.poison(rank);
+                                }
+                            }
                         })
                         .expect("spawn rank thread"),
                 );
             }
             for h in handles {
-                if let Err(e) = h.join() {
-                    std::panic::resume_unwind(e);
-                }
+                // rank panics are caught above; a join error here would be
+                // a bug in the harness itself
+                h.join().expect("rank thread infrastructure panicked");
             }
         });
 
-        let out = results
-            .into_iter()
-            .map(|m| m.into_inner().expect("rank finished without a result"))
-            .collect();
-        (out, shared.counters.snapshot(), trace.map(|t| t.finish()))
+        let failures = failures.into_inner();
+        let traffic = shared.counters.snapshot();
+        let trace = trace.map(|t| t.finish());
+        let out = if failures.is_empty() {
+            Ok(results
+                .into_iter()
+                .map(|m| m.into_inner().expect("rank finished without a result"))
+                .collect())
+        } else {
+            Err(RunError { failures })
+        };
+        (out, traffic, trace)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
+    use std::time::Instant;
 
     #[test]
     fn ranks_see_their_ids() {
@@ -134,9 +314,9 @@ mod tests {
         let rt = Runtime::new(2);
         let (_, report) = rt.run_traced(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 0, vec![0u8; 128]);
+                comm.send(1, 0, vec![0u8; 128]).unwrap();
             } else {
-                let _: Vec<u8> = comm.recv(0, 0);
+                let _: Vec<u8> = comm.recv(0, 0).unwrap();
             }
         });
         assert_eq!(report.total_nic_bytes(), 128);
@@ -148,9 +328,9 @@ mod tests {
         let rt = Runtime::new(2).with_placement(Placement::single_node(2));
         let (_, report) = rt.run_traced(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 0, vec![0u8; 128]);
+                comm.send(1, 0, vec![0u8; 128]).unwrap();
             } else {
-                let _: Vec<u8> = comm.recv(0, 0);
+                let _: Vec<u8> = comm.recv(0, 0).unwrap();
             }
         });
         assert_eq!(report.total_nic_bytes(), 0);
@@ -163,9 +343,9 @@ mod tests {
         let (_, report, trace) = rt.run_with_trace(|comm| {
             let _p = comm.phase("DiagBcast");
             if comm.rank() == 0 {
-                comm.send(1, 0, vec![0u8; 64]);
+                comm.send(1, 0, vec![0u8; 64]).unwrap();
             } else {
-                let _: Vec<u8> = comm.recv(0, 0);
+                let _: Vec<u8> = comm.recv(0, 0).unwrap();
             }
         });
         assert_eq!(trace.num_ranks(), 2);
@@ -187,7 +367,155 @@ mod tests {
         Runtime::new(1)
             .with_recv_timeout(Duration::from_millis(20))
             .run(|comm| {
-                let _: u8 = comm.recv(0, 9); // nobody ever sends
+                let _: u8 = comm.recv(0, 9).unwrap(); // nobody ever sends
             });
+    }
+
+    #[test]
+    fn try_run_returns_typed_timeout_instead_of_panicking() {
+        let err = Runtime::new(1)
+            .with_recv_timeout(Duration::from_millis(20))
+            .try_run(|comm| comm.recv::<u8>(0, 9))
+            .expect_err("nobody ever sends");
+        assert!(matches!(
+            err.first().error,
+            FailureKind::App(CommError::RecvTimeout(_))
+        ));
+    }
+
+    #[test]
+    fn rank_panic_is_caught_and_peers_fail_fast() {
+        // Under the old runtime this was the double-panic scenario: rank 0
+        // panics while rank 1 blocks; now rank 1 is woken immediately with
+        // PeerFailed and the whole job reports a typed RunError.
+        let rt = Runtime::new(2).with_recv_timeout(Duration::from_secs(30));
+        let start = Instant::now();
+        let err = rt
+            .try_run(|comm| -> Result<(), CommError> {
+                if comm.rank() == 0 {
+                    panic!("rank 0 exploded");
+                }
+                let _: u8 = comm.recv(0, 1)?;
+                Ok(())
+            })
+            .expect_err("rank 0 panics");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "peers must not burn the 30s recv timeout"
+        );
+        let first = err.first();
+        assert_eq!(first.rank, 0);
+        assert!(matches!(&first.error, FailureKind::Panic(m) if m.contains("rank 0 exploded")));
+        assert!(err
+            .failures
+            .iter()
+            .any(|f| f.rank == 1
+                && matches!(f.error, FailureKind::App(CommError::PeerFailed { rank: 0 }))));
+    }
+
+    #[test]
+    fn app_error_poisons_blocked_peers() {
+        let rt = Runtime::new(3).with_recv_timeout(Duration::from_secs(30));
+        let start = Instant::now();
+        let err = rt
+            .try_run(|comm| -> Result<u8, String> {
+                if comm.rank() == 2 {
+                    return Err("disk on rank 2 caught fire".to_string());
+                }
+                comm.recv::<u8>(2, 1).map_err(|e| e.to_string())
+            })
+            .expect_err("rank 2 fails");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(err.first().rank, 2);
+        assert!(matches!(&err.first().error, FailureKind::App(m) if m.contains("caught fire")));
+        // both peers were woken with PeerFailed{2}, stringified by the map_err
+        let woken = err
+            .failures
+            .iter()
+            .filter(|f| matches!(&f.error, FailureKind::App(m) if m.contains("peer failure")))
+            .count();
+        assert_eq!(woken, 2);
+        assert!(format!("{err}").contains("2 more rank(s)"), "{err}");
+    }
+
+    #[test]
+    fn kill_fault_terminates_every_rank_quickly() {
+        // kill rank 1 before its very first send: the ring broadcast can
+        // never complete, and every rank must come back with a typed error
+        // long before the 30 s timeout.
+        let rt = Runtime::new(4).with_faults(FaultPlan::kill(1, 0));
+        let start = Instant::now();
+        let err = rt
+            .try_run(|comm| {
+                let data = (comm.rank() == 0).then(|| vec![1u8; 64]);
+                comm.ring_bcast(0, data, 4)
+            })
+            .expect_err("the killed rank breaks the ring");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(err.first().rank, 1);
+        assert!(matches!(
+            err.first().error,
+            FailureKind::App(CommError::Killed { rank: 1 })
+        ));
+        for f in &err.failures[1..] {
+            assert!(
+                matches!(f.error, FailureKind::App(CommError::PeerFailed { rank: 1 })),
+                "rank {} should fail fast with PeerFailed, got {:?}",
+                f.rank,
+                f.error
+            );
+        }
+    }
+
+    #[test]
+    fn drop_fault_surfaces_as_recv_timeout() {
+        // drop rank 0's first send: rank 1 times out with the typed report.
+        let rt = Runtime::new(2)
+            .with_recv_timeout(Duration::from_millis(50))
+            .with_faults(FaultPlan::drop_nth(0, 0));
+        let err = rt
+            .try_run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, 42u64)?;
+                    Ok(0)
+                } else {
+                    comm.recv::<u64>(0, 7)
+                }
+            })
+            .expect_err("the dropped message never arrives");
+        assert_eq!(err.first().rank, 1);
+        assert!(matches!(
+            err.first().error,
+            FailureKind::App(CommError::RecvTimeout(_))
+        ));
+    }
+
+    #[test]
+    fn delay_fault_holds_delivery_but_preserves_the_result() {
+        let rt = Runtime::new(2).with_faults(FaultPlan::delay_nth(
+            0,
+            0,
+            Duration::from_millis(50),
+        ));
+        let start = Instant::now();
+        let out = rt.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 42u64).unwrap();
+                0
+            } else {
+                comm.recv::<u64>(0, 7).unwrap()
+            }
+        });
+        assert_eq!(out[1], 42);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        let base = Runtime::new(3).run(|comm| comm.allreduce(comm.rank() as u64, |a, b| a + b).unwrap());
+        let with_plan = Runtime::new(3)
+            .with_faults(FaultPlan::none())
+            .run(|comm| comm.allreduce(comm.rank() as u64, |a, b| a + b).unwrap());
+        assert_eq!(base, with_plan);
     }
 }

@@ -21,8 +21,8 @@ proptest! {
         let payload: Vec<u64> = (0..len).map(|i| seed.wrapping_add(i as u64)).collect();
         let expect = payload.clone();
         let out = Runtime::new(p).run(move |comm| {
-            let t = comm.bcast(root, (comm.rank() == root).then(|| payload.clone()));
-            let r = comm.ring_bcast(root, (comm.rank() == root).then(|| payload.clone()), chunks);
+            let t = comm.bcast(root, (comm.rank() == root).then(|| payload.clone())).unwrap();
+            let r = comm.ring_bcast(root, (comm.rank() == root).then(|| payload.clone()), chunks).unwrap();
             (t, r)
         });
         for (t, r) in out {
@@ -39,7 +39,7 @@ proptest! {
         let vals2 = vals.clone();
         let out = Runtime::new(p).run(move |comm| {
             let mine = vals2[comm.rank()];
-            (comm.allreduce(mine, u64::min), comm.allreduce(mine, |a, b| a + b))
+            (comm.allreduce(mine, u64::min).unwrap(), comm.allreduce(mine, |a, b| a + b).unwrap())
         });
         for (mn, sm) in out {
             prop_assert_eq!(mn, expect_min);
@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn allgather_is_rank_ordered(p in 1usize..8, base in any::<u32>()) {
         let out = Runtime::new(p).run(move |comm| {
-            comm.allgather(base.wrapping_add(comm.rank() as u32))
+            comm.allgather(base.wrapping_add(comm.rank() as u32)).unwrap()
         });
         let expect: Vec<u32> = (0..p).map(|r| base.wrapping_add(r as u32)).collect();
         for v in out {
@@ -62,7 +62,7 @@ proptest! {
     fn split_partitions_exactly(p in 2usize..10, colors in 1usize..4) {
         let out = Runtime::new(p).run(move |comm| {
             let color = (comm.rank() % colors) as u64;
-            let sub = comm.split(color, comm.rank() as u64);
+            let sub = comm.split(color, comm.rank() as u64).unwrap();
             (color, sub.rank(), sub.size())
         });
         for (rank, &(color, sub_rank, sub_size)) in out.iter().enumerate() {
