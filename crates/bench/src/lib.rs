@@ -22,6 +22,9 @@
 //! collectives, and the distributed variants) — wall-clock numbers for this
 //! machine, complementing the simulated Summit numbers above.
 
+pub mod json;
+pub mod perf;
+
 /// Simple fixed-width table printer shared by the figure binaries.
 pub struct Table {
     widths: Vec<usize>,

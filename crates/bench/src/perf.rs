@@ -1,0 +1,640 @@
+//! Wall-clock perf suite with a stable JSON schema and a regression
+//! comparator.
+//!
+//! Unlike the figure binaries (which report *simulated* Summit time), this
+//! module measures the real kernels of the reproduction on the machine it
+//! runs on: the three GEMM kernels × element widths, blocked
+//! Floyd-Warshall, end-to-end `distributed_apsp` at every corner of the
+//! 2×2×2 policy cube, and a headline distributed run recorded twice — once
+//! with the pre-PR serial OuterUpdate (`baseline_wall_s`) and once with the
+//! thread-budgeted kernel (`wall_s`) — so the speedup claim is carried *in*
+//! the artifact rather than asserted in prose.
+//!
+//! Schema (`apsp-bench-perf/1`): a top-level object with `schema`, `mode`,
+//! `reps`, `available_parallelism`, and `entries`; each entry has `name`
+//! (stable across runs — sizes live in `params`), `group`, `params`
+//! (numeric), `wall_s` (minimum over `reps`), and optionally `gflops`,
+//! `baseline_wall_s`, `speedup`. Entry names are the comparator's join key.
+
+use std::time::Instant;
+
+use apsp_core::{distributed_apsp, fw_blocked, DiagMethod, Exec, FwConfig, PanelBcastAlgo, Schedule};
+use apsp_graph::generators::{self, WeightKind};
+use srgemm::gemm::{gemm_blocked, gemm_flops, gemm_naive, gemm_parallel};
+use srgemm::{Matrix, MinPlus, Semiring};
+
+use crate::json::Json;
+
+/// Schema identifier written into (and required from) every suite file.
+pub const SCHEMA: &str = "apsp-bench-perf/1";
+
+/// Default regression threshold for the comparator: a benchmark slower by
+/// more than this fraction of its old time is flagged.
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// One measured benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Stable identity (comparator join key); sizes go in `params`.
+    pub name: String,
+    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`.
+    pub group: String,
+    /// Numeric parameters of the run (n, block, grid, …).
+    pub params: Vec<(String, f64)>,
+    /// Best (minimum) wall-clock seconds over the suite's repetitions.
+    pub wall_s: f64,
+    /// Throughput at `wall_s`, when a flop count is defined.
+    pub gflops: Option<f64>,
+    /// Wall-clock of the pre-PR configuration, for entries that carry
+    /// their own baseline (the headline distributed run).
+    pub baseline_wall_s: Option<f64>,
+    /// `baseline_wall_s / wall_s`, when a baseline exists.
+    pub speedup: Option<f64>,
+}
+
+/// A full suite result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// `full` or `quick` (CI smoke); comparing across modes is refused.
+    pub mode: String,
+    /// Repetitions per entry (`wall_s` is the minimum).
+    pub reps: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    /// The measurements, in suite order.
+    pub entries: Vec<Entry>,
+}
+
+impl Report {
+    /// Serialize to the stable JSON schema.
+    pub fn to_json(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("name".to_string(), Json::Str(e.name.clone())),
+                    ("group".to_string(), Json::Str(e.group.clone())),
+                    (
+                        "params".to_string(),
+                        Json::Obj(
+                            e.params.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
+                        ),
+                    ),
+                    ("wall_s".to_string(), Json::Num(e.wall_s)),
+                ];
+                if let Some(g) = e.gflops {
+                    fields.push(("gflops".to_string(), Json::Num(g)));
+                }
+                if let Some(b) = e.baseline_wall_s {
+                    fields.push(("baseline_wall_s".to_string(), Json::Num(b)));
+                }
+                if let Some(s) = e.speedup {
+                    fields.push(("speedup".to_string(), Json::Num(s)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(self.schema.clone())),
+            ("mode".to_string(), Json::Str(self.mode.clone())),
+            ("reps".to_string(), Json::Num(self.reps as f64)),
+            (
+                "available_parallelism".to_string(),
+                Json::Num(self.available_parallelism as f64),
+            ),
+            ("entries".to_string(), Json::Arr(entries)),
+        ])
+    }
+
+    /// Parse and validate a suite file. Rejects unknown schemas and entries
+    /// missing required fields, with a field-level message.
+    pub fn from_json(doc: &Json) -> Result<Report, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing `schema`")?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (expected `{SCHEMA}`)"));
+        }
+        let mode = doc.get("mode").and_then(Json::as_str).ok_or("missing `mode`")?.to_string();
+        let reps = doc.get("reps").and_then(Json::as_f64).ok_or("missing `reps`")? as usize;
+        let available_parallelism = doc
+            .get("available_parallelism")
+            .and_then(Json::as_f64)
+            .ok_or("missing `available_parallelism`")? as usize;
+        let raw = doc.get("entries").and_then(Json::as_arr).ok_or("missing `entries`")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i}: missing `name`"))?
+                .to_string();
+            let group = e
+                .get("group")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry `{name}`: missing `group`"))?
+                .to_string();
+            let wall_s = e
+                .get("wall_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry `{name}`: missing `wall_s`"))?;
+            let params = match e.get("params") {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|x| (k.clone(), x))
+                            .ok_or_else(|| format!("entry `{name}`: param `{k}` not a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(_) => return Err(format!("entry `{name}`: `params` not an object")),
+                None => Vec::new(),
+            };
+            entries.push(Entry {
+                name,
+                group,
+                params,
+                wall_s,
+                gflops: e.get("gflops").and_then(Json::as_f64),
+                baseline_wall_s: e.get("baseline_wall_s").and_then(Json::as_f64),
+                speedup: e.get("speedup").and_then(Json::as_f64),
+            });
+        }
+        Ok(Report { schema, mode, reps, available_parallelism, entries })
+    }
+}
+
+/// How one benchmark moved between two suite files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Slower by more than the threshold.
+    Regression,
+    /// Faster by more than the threshold.
+    Improvement,
+    /// Within the threshold either way.
+    Unchanged,
+}
+
+/// Old-vs-new comparison for one shared entry name.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Entry name (present in both files).
+    pub name: String,
+    /// `wall_s` in the old file.
+    pub old_wall_s: f64,
+    /// `wall_s` in the new file.
+    pub new_wall_s: f64,
+    /// `new / old`; > 1 means slower.
+    pub ratio: f64,
+    /// Classification at the comparator's threshold.
+    pub kind: DeltaKind,
+}
+
+/// Result of comparing two suite files.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Entries present in both files, in new-file order.
+    pub deltas: Vec<Delta>,
+    /// Names only in the new file.
+    pub added: Vec<String>,
+    /// Names only in the old file.
+    pub removed: Vec<String>,
+    /// Threshold the deltas were classified at.
+    pub threshold: f64,
+}
+
+impl CompareReport {
+    /// Any regression beyond the threshold?
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.kind == DeltaKind::Regression)
+    }
+
+    /// Human-readable summary, one line per delta plus added/removed names.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let tag = match d.kind {
+                DeltaKind::Regression => "REGRESSION",
+                DeltaKind::Improvement => "improved",
+                DeltaKind::Unchanged => "ok",
+            };
+            out.push_str(&format!(
+                "{:<52} {:>10.6}s -> {:>10.6}s  x{:.3}  {}\n",
+                d.name, d.old_wall_s, d.new_wall_s, d.ratio, tag
+            ));
+        }
+        for name in &self.added {
+            out.push_str(&format!("{name:<52} (new benchmark)\n"));
+        }
+        for name in &self.removed {
+            out.push_str(&format!("{name:<52} (removed benchmark)\n"));
+        }
+        out
+    }
+}
+
+/// Compare two suite reports by entry name. Refuses to compare different
+/// modes (quick-vs-full timings are not commensurable).
+pub fn compare(old: &Report, new: &Report, threshold: f64) -> Result<CompareReport, String> {
+    if old.mode != new.mode {
+        return Err(format!(
+            "refusing to compare `{}` against `{}` suites (sizes differ)",
+            old.mode, new.mode
+        ));
+    }
+    let mut deltas = Vec::new();
+    let mut added = Vec::new();
+    for e in &new.entries {
+        match old.entries.iter().find(|o| o.name == e.name) {
+            Some(o) => {
+                let ratio = if o.wall_s > 0.0 { e.wall_s / o.wall_s } else { f64::INFINITY };
+                let kind = if ratio > 1.0 + threshold {
+                    DeltaKind::Regression
+                } else if ratio < 1.0 / (1.0 + threshold) {
+                    DeltaKind::Improvement
+                } else {
+                    DeltaKind::Unchanged
+                };
+                deltas.push(Delta {
+                    name: e.name.clone(),
+                    old_wall_s: o.wall_s,
+                    new_wall_s: e.wall_s,
+                    ratio,
+                    kind,
+                });
+            }
+            None => added.push(e.name.clone()),
+        }
+    }
+    let removed = old
+        .entries
+        .iter()
+        .filter(|o| !new.entries.iter().any(|e| e.name == o.name))
+        .map(|o| o.name.clone())
+        .collect();
+    Ok(CompareReport { deltas, added, removed, threshold })
+}
+
+/// Suite sizing: `full` produces the committed `BENCH_PR4.json`; `quick`
+/// is the CI smoke (seconds, not minutes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Committed-artifact sizes.
+    Full,
+    /// CI smoke sizes.
+    Quick,
+}
+
+impl Mode {
+    fn name(&self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+        }
+    }
+}
+
+struct Sizes {
+    gemm_n: usize,
+    fw_n: usize,
+    fw_b: usize,
+    dist_n: usize,
+    dist_b: usize,
+    headline_n: usize,
+    headline_b: usize,
+}
+
+fn sizes(mode: Mode) -> Sizes {
+    match mode {
+        Mode::Full => Sizes {
+            gemm_n: 256,
+            fw_n: 256,
+            fw_b: 64,
+            dist_n: 192,
+            dist_b: 48,
+            headline_n: 1024,
+            headline_b: 128,
+        },
+        Mode::Quick => Sizes {
+            gemm_n: 64,
+            fw_n: 64,
+            fw_b: 16,
+            dist_n: 48,
+            dist_b: 16,
+            headline_n: 96,
+            headline_b: 32,
+        },
+    }
+}
+
+/// Minimum wall-clock over `reps` runs of `f` (each run gets fresh state
+/// from `setup`).
+fn time_min<T>(reps: usize, mut setup: impl FnMut() -> T, mut f: impl FnMut(T)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let state = setup();
+        let t0 = Instant::now();
+        f(state);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn lcg_matrix_f32(n: usize, seed: u64) -> Matrix<f32> {
+    let mut state = seed | 1;
+    Matrix::from_fn(n, n, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % 1000) as f32 / 8.0
+    })
+}
+
+/// A serial-signature GEMM kernel over element type `E`.
+type GemmFn<E> = fn(&mut srgemm::ViewMut<'_, E>, &srgemm::View<'_, E>, &srgemm::View<'_, E>);
+
+fn gemm_suite<S>(elem: &str, n: usize, reps: usize, mk: impl Fn(u64) -> Matrix<S::Elem>) -> Vec<Entry>
+where
+    S: Semiring,
+{
+    let a = mk(11);
+    let b = mk(22);
+    let c0 = mk(33);
+    let flops = gemm_flops(n, n, n);
+    let algos: [(&str, GemmFn<S::Elem>); 3] = [
+        ("naive", gemm_naive::<S>),
+        ("blocked", gemm_blocked::<S>),
+        ("parallel", gemm_parallel::<S>),
+    ];
+    algos
+        .iter()
+        .map(|(algo, kernel)| {
+            let wall_s = time_min(
+                reps,
+                || c0.clone(),
+                |mut c| kernel(&mut c.view_mut(), &a.view(), &b.view()),
+            );
+            eprintln!("  gemm/{algo}/minplus_{elem}: {wall_s:.6}s");
+            Entry {
+                name: format!("gemm/{algo}/minplus_{elem}"),
+                group: "gemm".to_string(),
+                params: vec![("n".to_string(), n as f64)],
+                wall_s,
+                gflops: Some(flops / wall_s / 1e9),
+                baseline_wall_s: None,
+                speedup: None,
+            }
+        })
+        .collect()
+}
+
+/// Run the whole suite and return the report (also logged to stderr as it
+/// goes; stdout stays clean for the JSON).
+pub fn run_suite(mode: Mode, reps: usize) -> Report {
+    let sz = sizes(mode);
+    let mut entries = Vec::new();
+
+    // --- GEMM kernels: naive/blocked/parallel × MinPlus f32/f64 ----------
+    eprintln!("[perf] gemm kernels, n = {}", sz.gemm_n);
+    let n = sz.gemm_n;
+    entries.extend(gemm_suite::<MinPlus<f32>>("f32", n, reps, |seed| {
+        lcg_matrix_f32(n, seed)
+    }));
+    entries.extend(gemm_suite::<MinPlus<f64>>("f64", n, reps, |seed| {
+        let mut state = seed | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 8.0
+        })
+    }));
+
+    // --- Blocked Floyd-Warshall ------------------------------------------
+    eprintln!("[perf] fw_blocked, n = {}, b = {}", sz.fw_n, sz.fw_b);
+    {
+        let d0 = lcg_matrix_f32(sz.fw_n, 44);
+        let wall_s = time_min(
+            reps,
+            || d0.clone(),
+            |mut d| fw_blocked::<MinPlus<f32>>(&mut d, sz.fw_b, DiagMethod::FwClosure, true),
+        );
+        let flops = 2.0 * (sz.fw_n as f64).powi(3);
+        eprintln!("  fw/blocked/minplus_f32: {wall_s:.6}s");
+        entries.push(Entry {
+            name: "fw/blocked/minplus_f32".to_string(),
+            group: "fw".to_string(),
+            params: vec![
+                ("n".to_string(), sz.fw_n as f64),
+                ("block".to_string(), sz.fw_b as f64),
+            ],
+            wall_s,
+            gflops: Some(flops / wall_s / 1e9),
+            baseline_wall_s: None,
+            speedup: None,
+        });
+    }
+
+    // --- distributed_apsp across the 2×2×2 policy cube --------------------
+    eprintln!("[perf] distributed_apsp cube, n = {}, b = {}, 2x2 grid", sz.dist_n, sz.dist_b);
+    {
+        let g = generators::erdos_renyi(sz.dist_n, 0.05, WeightKind::small_ints(), 7);
+        let input = g.to_dense();
+        for schedule in Schedule::all() {
+            for bcast in [PanelBcastAlgo::Tree, PanelBcastAlgo::Ring { chunks: 4 }] {
+                for exec in Exec::all() {
+                    let mut cfg = FwConfig::from_axes(sz.dist_b, schedule, bcast, exec);
+                    cfg.oog = gpu_sim::OogConfig::new(32, 32, 3);
+                    let name = format!(
+                        "dist/{}/{}/{}",
+                        schedule.name().to_lowercase(),
+                        bcast.name().to_lowercase(),
+                        exec.name().to_lowercase()
+                    );
+                    let wall_s = time_min(
+                        reps,
+                        || input.clone(),
+                        |m| {
+                            distributed_apsp::<MinPlus<f32>>(2, 2, &cfg, &m, None)
+                                .expect("suite dist run");
+                        },
+                    );
+                    eprintln!("  {name}: {wall_s:.6}s");
+                    entries.push(Entry {
+                        name,
+                        group: "dist".to_string(),
+                        params: vec![
+                            ("n".to_string(), sz.dist_n as f64),
+                            ("block".to_string(), sz.dist_b as f64),
+                            ("pr".to_string(), 2.0),
+                            ("pc".to_string(), 2.0),
+                        ],
+                        wall_s,
+                        gflops: None,
+                        baseline_wall_s: None,
+                        speedup: None,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- headline: serial-OuterUpdate baseline vs thread-budgeted ---------
+    eprintln!(
+        "[perf] headline dist run, n = {}, b = {}, 2x2 grid (baseline vs budgeted)",
+        sz.headline_n, sz.headline_b
+    );
+    {
+        let g = generators::erdos_renyi(sz.headline_n, 0.02, WeightKind::small_ints(), 9);
+        let input = g.to_dense();
+        let mut cfg =
+            FwConfig::from_axes(sz.headline_b, Schedule::BulkSync, PanelBcastAlgo::Tree, Exec::InCoreGemm);
+
+        cfg.kernel_threads = Some(1); // pre-PR behavior: serial OuterUpdate
+        let baseline_wall_s = time_min(
+            reps,
+            || input.clone(),
+            |m| {
+                distributed_apsp::<MinPlus<f32>>(2, 2, &cfg, &m, None).expect("headline baseline");
+            },
+        );
+
+        cfg.kernel_threads = None; // budgeted: cores / (pr*pc), floor 1
+        let wall_s = time_min(
+            reps,
+            || input.clone(),
+            |m| {
+                distributed_apsp::<MinPlus<f32>>(2, 2, &cfg, &m, None).expect("headline budgeted");
+            },
+        );
+
+        let flops = 2.0 * (sz.headline_n as f64).powi(3);
+        eprintln!(
+            "  dist/headline/bulksync_tree_incore: baseline {baseline_wall_s:.6}s, budgeted {wall_s:.6}s, x{:.3}",
+            baseline_wall_s / wall_s
+        );
+        entries.push(Entry {
+            name: "dist/headline/bulksync_tree_incore".to_string(),
+            group: "dist_e2e".to_string(),
+            params: vec![
+                ("n".to_string(), sz.headline_n as f64),
+                ("block".to_string(), sz.headline_b as f64),
+                ("pr".to_string(), 2.0),
+                ("pc".to_string(), 2.0),
+            ],
+            wall_s,
+            gflops: Some(flops / wall_s / 1e9),
+            baseline_wall_s: Some(baseline_wall_s),
+            speedup: Some(baseline_wall_s / wall_s),
+        });
+    }
+
+    Report {
+        schema: SCHEMA.to_string(),
+        mode: mode.name().to_string(),
+        reps,
+        available_parallelism: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, wall_s: f64) -> Entry {
+        Entry {
+            name: name.to_string(),
+            group: "gemm".to_string(),
+            params: vec![("n".to_string(), 64.0)],
+            wall_s,
+            gflops: Some(1.0),
+            baseline_wall_s: None,
+            speedup: None,
+        }
+    }
+
+    fn report(entries: Vec<Entry>) -> Report {
+        Report {
+            schema: SCHEMA.to_string(),
+            mode: "full".to_string(),
+            reps: 3,
+            available_parallelism: 8,
+            entries,
+        }
+    }
+
+    #[test]
+    fn schema_round_trips_through_text() {
+        // serialize → pretty-print → parse → deserialize → identical
+        let mut headline = entry("dist/headline/x", 2.0);
+        headline.baseline_wall_s = Some(3.5);
+        headline.speedup = Some(1.75);
+        headline.group = "dist_e2e".to_string();
+        let r = report(vec![entry("gemm/naive/minplus_f32", 0.25), headline]);
+        let text = r.to_json().pretty();
+        let back = Report::from_json(&Json::parse(&text).expect("parses")).expect("validates");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_and_missing_fields() {
+        let mut doc = report(vec![]).to_json();
+        // wrong schema string
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("somebody-else/9".to_string());
+        }
+        assert!(Report::from_json(&doc).unwrap_err().contains("unsupported schema"));
+        // entry without wall_s
+        let doc = Json::parse(
+            r#"{"schema":"apsp-bench-perf/1","mode":"full","reps":1,
+                "available_parallelism":1,
+                "entries":[{"name":"x","group":"gemm"}]}"#,
+        )
+        .unwrap();
+        assert!(Report::from_json(&doc).unwrap_err().contains("wall_s"));
+    }
+
+    #[test]
+    fn comparator_classifies_improvement_regression_unchanged() {
+        let old = report(vec![entry("a", 1.0), entry("b", 1.0), entry("c", 1.0)]);
+        let new = report(vec![entry("a", 0.5), entry("b", 1.5), entry("c", 1.05)]);
+        let cmp = compare(&old, &new, 0.15).expect("same mode");
+        assert_eq!(cmp.deltas.len(), 3);
+        assert_eq!(cmp.deltas[0].kind, DeltaKind::Improvement);
+        assert_eq!(cmp.deltas[1].kind, DeltaKind::Regression);
+        assert_eq!(cmp.deltas[2].kind, DeltaKind::Unchanged);
+        assert!(cmp.has_regressions());
+        assert!(cmp.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn comparator_reports_added_and_removed_keys() {
+        let old = report(vec![entry("kept", 1.0), entry("dropped", 1.0)]);
+        let new = report(vec![entry("kept", 1.0), entry("fresh", 1.0)]);
+        let cmp = compare(&old, &new, 0.15).unwrap();
+        assert_eq!(cmp.added, vec!["fresh".to_string()]);
+        assert_eq!(cmp.removed, vec!["dropped".to_string()]);
+        assert!(!cmp.has_regressions());
+    }
+
+    #[test]
+    fn comparator_refuses_cross_mode_comparison() {
+        let old = report(vec![]);
+        let mut new = report(vec![]);
+        new.mode = "quick".to_string();
+        assert!(compare(&old, &new, 0.15).is_err());
+    }
+
+    #[test]
+    fn threshold_is_symmetric_in_ratio_space() {
+        // 15% threshold: ratio 1.15 exactly is NOT a regression; 1/1.15 is
+        // NOT an improvement — strict inequalities both ways.
+        let old = report(vec![entry("edge_up", 1.0), entry("edge_down", 1.0)]);
+        let new = report(vec![entry("edge_up", 1.15), entry("edge_down", 1.0 / 1.15)]);
+        let cmp = compare(&old, &new, 0.15).unwrap();
+        assert_eq!(cmp.deltas[0].kind, DeltaKind::Unchanged);
+        assert_eq!(cmp.deltas[1].kind, DeltaKind::Unchanged);
+    }
+}

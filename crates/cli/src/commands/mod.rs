@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod bench;
 pub mod generate;
 pub mod info;
 pub mod route;

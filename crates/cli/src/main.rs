@@ -6,6 +6,7 @@
 //! apsp route    --input g.gr --from 0 --to 99
 //! apsp simulate --nodes 64 --n 300000 --variant async
 //! apsp info     --input g.gr
+//! apsp bench    run --quick --out bench.json
 //! ```
 //!
 //! Run `apsp help` (or any subcommand with `--help`) for details.
@@ -35,6 +36,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "route" => commands::route::run(rest),
         "simulate" => commands::simulate::run(rest),
         "info" => commands::info::run(rest),
+        "bench" => commands::bench::run(rest),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -56,6 +58,7 @@ COMMANDS:
     route      print the shortest route between two vertices
     simulate   predict a run on the calibrated Summit model
     info       print statistics of a graph file
+    bench      run the wall-clock perf suite / diff two suite JSON files
     help       this message
 
 Graph files: DIMACS .gr ('--format dimacs', default for *.gr) or

@@ -29,7 +29,7 @@
 
 use gpu_sim::{oog_srgemm, SimGpu};
 use mpi_sim::ProcessGrid;
-use srgemm::gemm::gemm_blocked;
+use srgemm::gemm::{budget_threads, gemm_blocked, gemm_parallel_threads};
 use srgemm::matrix::{View, ViewMut};
 use srgemm::semiring::Semiring;
 
@@ -50,8 +50,42 @@ pub trait OuterExec<S: Semiring> {
     ) -> Result<(), DistError>;
 }
 
-/// In-core execution: the OuterUpdate is one blocked GEMM over the view.
-pub struct InCoreGemm;
+/// In-core execution: the OuterUpdate is one blocked GEMM over the view,
+/// row-slab parallel under an explicit thread budget.
+///
+/// The budget matters because every rank of the mpi-sim grid is already a
+/// thread on the same machine: `p` ranks each fanning out to all cores
+/// oversubscribes the box `p`-fold and the OuterUpdates *slow down*. The
+/// budget rule is `ranks × kernel threads ≤ cores` (DESIGN.md §10):
+/// [`InCoreGemm::budgeted`] divides `available_parallelism` by the number
+/// of co-resident ranks (floor 1, i.e. the serial kernel).
+pub struct InCoreGemm {
+    threads: usize,
+}
+
+impl InCoreGemm {
+    /// Serial OuterUpdate (the pre-budget behavior; also the floor the
+    /// budget degrades to when ranks ≥ cores).
+    pub fn serial() -> Self {
+        InCoreGemm { threads: 1 }
+    }
+
+    /// Explicit kernel thread count (`0` is treated as 1).
+    pub fn with_threads(threads: usize) -> Self {
+        InCoreGemm { threads: threads.max(1) }
+    }
+
+    /// Budget for `active_ranks` co-resident ranks:
+    /// `available_parallelism / active_ranks`, floor 1.
+    pub fn budgeted(active_ranks: usize) -> Self {
+        InCoreGemm { threads: budget_threads(active_ranks) }
+    }
+
+    /// Kernel threads each OuterUpdate may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
 
 impl<S: Semiring> OuterExec<S> for InCoreGemm {
     fn outer_update(
@@ -60,7 +94,11 @@ impl<S: Semiring> OuterExec<S> for InCoreGemm {
         a: &View<'_, S::Elem>,
         b: &View<'_, S::Elem>,
     ) -> Result<(), DistError> {
-        gemm_blocked::<S>(c, a, b);
+        if self.threads <= 1 {
+            gemm_blocked::<S>(c, a, b);
+        } else {
+            gemm_parallel_threads::<S>(c, a, b, self.threads);
+        }
         Ok(())
     }
 }

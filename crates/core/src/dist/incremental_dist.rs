@@ -94,7 +94,8 @@ mod tests {
             let (r, c) = grid.coords();
             let mut a = DistMatrix::from_global(&input, b, pr, pc, r, c);
             let cfg = FwConfig::new(b, Variant::Baseline);
-            driver::run::<MinPlusF32, _>(&grid, &mut a, &cfg, &mut InCoreGemm).expect("in-core run");
+            driver::run::<MinPlusF32, _>(&grid, &mut a, &cfg, &mut InCoreGemm::budgeted(pr * pc))
+                .expect("in-core run");
             for &(u, v, w) in &updates2 {
                 decrease_edge_dist::<MinPlusF32>(&grid, &mut a, u, v, w).expect("update");
             }

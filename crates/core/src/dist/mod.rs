@@ -297,6 +297,11 @@ pub struct FwConfig {
     pub exec: Exec,
     /// How diagonal blocks are closed.
     pub diag: DiagMethod,
+    /// Kernel threads each rank's [`InCoreGemm`] OuterUpdate may use.
+    /// `None` → budgeted automatically as `available_parallelism / (pr·pc)`,
+    /// floor 1, so ranks × kernel threads never exceeds the machine
+    /// (DESIGN.md §10). `Some(1)` forces the serial pre-budget behavior.
+    pub kernel_threads: Option<usize>,
     /// Device spec for the GpuOffload executor (each rank gets one GPU).
     pub gpu_spec: GpuSpec,
     /// ooGSrGemm tiling for the GpuOffload executor.
@@ -322,6 +327,7 @@ impl FwConfig {
             bcast,
             exec,
             diag: DiagMethod::FwClosure,
+            kernel_threads: None,
             gpu_spec: GpuSpec::test_tiny(),
             oog: OogConfig::new(64, 64, 3),
         }
@@ -464,7 +470,14 @@ pub fn run_on_grid<S: Semiring>(
 ) -> Result<Option<OffloadStats>, DistError> {
     match cfg.exec {
         Exec::InCoreGemm => {
-            driver::run::<S, _>(grid, a, cfg, &mut InCoreGemm)?;
+            // Thread-budgeted OuterUpdate: every rank of this grid is a
+            // thread on the same machine, so each one's kernel gets
+            // cores / (pr·pc) workers unless the config pins a count.
+            let mut exec = match cfg.kernel_threads {
+                Some(t) => InCoreGemm::with_threads(t),
+                None => InCoreGemm::budgeted(grid.grid.size()),
+            };
+            driver::run::<S, _>(grid, a, cfg, &mut exec)?;
             Ok(None)
         }
         Exec::GpuOffload => {

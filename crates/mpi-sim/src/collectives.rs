@@ -50,26 +50,56 @@ impl Comm {
             mask <<= 1;
         }
         // release: binomial fan-out of an empty token
-        self.bcast_internal(0, if rank == 0 { Some(()) } else { None }, tag | (1 << 62))?;
+        self.bcast_internal(0, if rank == 0 { Some(Arc::new(())) } else { None }, tag | (1 << 62))?;
         Ok(())
     }
 
     /// Binomial-tree broadcast from `root`. The root passes `Some(data)`,
     /// everyone else `None`; all members return the broadcast value.
     ///
+    /// Internally the payload travels as one shared allocation (see
+    /// [`Comm::bcast_shared`]); the clone here happens only if the caller's
+    /// returned copy still shares with in-flight sends, i.e. at most once
+    /// per rank and never for the last-to-finish holders. Callers that can
+    /// hold an `Arc` should use [`Comm::bcast_shared`] and skip even that.
+    ///
     /// # Panics
     /// Panics if the root passes `None` or a non-root passes `Some`.
-    pub fn bcast<T: Payload + Clone>(&self, root: usize, data: Option<T>) -> Result<T, CommError> {
+    pub fn bcast<T: Payload + Clone + Sync>(
+        &self,
+        root: usize,
+        data: Option<T>,
+    ) -> Result<T, CommError> {
+        let shared = self.bcast_shared(root, data.map(Arc::new))?;
+        Ok(Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone()))
+    }
+
+    /// Binomial-tree broadcast from `root`, returning the payload by shared
+    /// reference: every rank's `Arc` points at the root's single allocation.
+    ///
+    /// Zero deep copies, deterministically: each tree hop forwards the `Arc`
+    /// by reference count (the old implementation deep-cloned the payload
+    /// once per child *on the root's critical path*). The traffic counters
+    /// still charge every hop the full `size_bytes()` of the inner value —
+    /// wire accounting is independent of host-memory sharing.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn bcast_shared<T: Payload + Sync>(
+        &self,
+        root: usize,
+        data: Option<Arc<T>>,
+    ) -> Result<Arc<T>, CommError> {
         let op = self.next_op();
         self.bcast_internal(root, data, INTERNAL_TAG | op)
     }
 
-    fn bcast_internal<T: Payload + Clone>(
+    fn bcast_internal<T: Payload + Sync>(
         &self,
         root: usize,
-        data: Option<T>,
+        data: Option<Arc<T>>,
         tag: u64,
-    ) -> Result<T, CommError> {
+    ) -> Result<Arc<T>, CommError> {
         let (rank, size) = (self.rank(), self.size());
         assert_eq!(
             rank == root,
@@ -87,18 +117,19 @@ impl Comm {
         while mask < size {
             if relative & mask != 0 {
                 let src = (relative - mask + root) % size;
-                value = Some(self.recv_raw::<T>(src, tag)?);
+                value = Some(self.recv_raw::<Arc<T>>(src, tag)?);
                 break;
             }
             mask <<= 1;
         }
-        // forward phase: children are relative + mask for decreasing masks
+        // forward phase: children are relative + mask for decreasing masks;
+        // each send bumps the refcount on the one shared allocation
         let value = value.expect("broadcast value must have arrived");
         let mut mask = mask >> 1;
         while mask > 0 {
             if relative + mask < size {
                 let dst = (relative + mask + root) % size;
-                self.send_raw(dst, tag, value.clone())?;
+                self.send_raw(dst, tag, Arc::clone(&value))?;
             }
             mask >>= 1;
         }
@@ -195,14 +226,14 @@ impl Comm {
     /// broadcast of the assembled vector: `2(p-1)` messages total, vs the
     /// `p` separate broadcasts (`p(p-1)` messages) of the naive formulation.
     /// The `Copy` bound is what gives `Vec<T>` its wire format.
-    pub fn allgather<T: Payload + Copy>(&self, value: T) -> Result<Vec<T>, CommError> {
+    pub fn allgather<T: Payload + Copy + Sync>(&self, value: T) -> Result<Vec<T>, CommError> {
         let gathered = self.gather(0, value)?;
         self.bcast(0, gathered)
     }
 
     /// Fold all ranks' values with `op` (applied in rank order) and return
     /// the result on every rank.
-    pub fn allreduce<T: Payload + Clone>(
+    pub fn allreduce<T: Payload + Clone + Sync>(
         &self,
         value: T,
         op: impl Fn(T, T) -> T,
@@ -233,6 +264,70 @@ mod tests {
                 assert_eq!(v, vec![root as u64, 99]);
             }
         }
+    }
+
+    #[test]
+    fn tree_bcast_shares_one_allocation_zero_deep_clones() {
+        // Regression: the binomial tree used to deep-clone the payload once
+        // per child (`value.clone()` on every forward), putting up to
+        // ⌈log₂ p⌉ full copies on the root's critical path. `bcast_shared`
+        // forwards the root's single allocation by refcount: a broadcast
+        // across 8 ranks must invoke the payload's `Clone` exactly ZERO
+        // times, while the wire counters still charge every hop full price.
+        use crate::payload::Payload;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        static DEEP_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+        struct CloneCounted(Vec<u8>);
+        impl Clone for CloneCounted {
+            fn clone(&self) -> Self {
+                DEEP_CLONES.fetch_add(1, Ordering::SeqCst);
+                CloneCounted(self.0.clone())
+            }
+        }
+        impl Payload for CloneCounted {
+            fn size_bytes(&self) -> usize {
+                self.0.len()
+            }
+        }
+
+        DEEP_CLONES.store(0, Ordering::SeqCst);
+        let p = 8;
+        let rt = Runtime::new(p);
+        let (out, report) = rt.run_traced(move |comm| {
+            let data = (comm.rank() == 0).then(|| Arc::new(CloneCounted(vec![7u8; 1024])));
+            let got = comm.bcast_shared(0, data).unwrap();
+            (got.0[0], got.0.len())
+        });
+        for v in out {
+            assert_eq!(v, (7u8, 1024));
+        }
+        assert_eq!(
+            DEEP_CLONES.load(Ordering::SeqCst),
+            0,
+            "tree bcast must not deep-clone the payload"
+        );
+        // every rank still receives the full payload once: p-1 hops × 1024
+        // wire bytes (one rank per node here, so all hops cross the NIC)
+        assert_eq!(report.total_nic_bytes(), (p as u64 - 1) * 1024);
+        assert_eq!(report.total_msgs, p as u64 - 1);
+    }
+
+    #[test]
+    fn owned_bcast_still_returns_owned_values() {
+        // the Arc plumbing must stay invisible to `bcast` callers: owned
+        // values in, owned values out, same wire accounting as before
+        let rt = Runtime::new(4);
+        let (out, report) = rt.run_traced(move |comm| {
+            let data = (comm.rank() == 0).then(|| vec![3u64; 100]);
+            comm.bcast(0, data).unwrap()
+        });
+        for v in out {
+            assert_eq!(v, vec![3u64; 100]);
+        }
+        assert_eq!(report.total_nic_bytes(), 3 * 800);
     }
 
     #[test]

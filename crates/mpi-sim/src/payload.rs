@@ -16,11 +16,15 @@ impl<T: Copy + Send + 'static> Payload for Vec<T> {
 }
 
 /// Shared buffers move by reference count — a forwarding rank in
-/// [`crate::Comm::ring_bcast`] re-sends the chunk it received without
-/// copying the bytes — but the wire size is still the full payload.
-impl<T: Copy + Send + Sync + 'static> Payload for std::sync::Arc<Vec<T>> {
+/// [`crate::Comm::ring_bcast`] re-sends the chunk it received, and every
+/// hop of the binomial tree in [`crate::Comm::bcast_shared`] passes the
+/// root's allocation on, without copying the bytes. The *wire* size is
+/// still the full inner payload: sharing is a host-memory optimization,
+/// not a traffic one, and the counters must keep telling the truth about
+/// what a real network would carry.
+impl<T: Payload + Sync> Payload for std::sync::Arc<T> {
     fn size_bytes(&self) -> usize {
-        std::mem::size_of::<T>() * self.len()
+        (**self).size_bytes()
     }
 }
 

@@ -5,6 +5,13 @@
 //! both rows hot in L1. Tiles of `KC × NC` of `B` are reused across the `MC`
 //! rows of a slab, mirroring (at CPU scale) the shared-memory staging the
 //! paper's Cutlass-based SRGEMM performs on the GPU.
+//!
+//! The micro-kernel unrolls the reduction loop 4× (four rows of `B` against
+//! one row of `C` per pass), quartering the load/store traffic on the `C`
+//! row — the dominant cost for cheap semiring ops — and uses unchecked slice
+//! access so the j-loop compiles to straight-line vector code. The safety
+//! argument (all indices bounded by the tile extents validated at entry) is
+//! spelled out in DESIGN.md §10 and enforced by `debug_assert!`s.
 
 use crate::matrix::{View, ViewMut};
 use crate::semiring::Semiring;
@@ -28,6 +35,11 @@ pub fn gemm_blocked<S: Semiring>(
 
 /// Tiled kernel with explicit tile sizes (exposed for the tiling ablation
 /// bench).
+///
+/// # Panics
+/// Panics if any tile size is zero: a zero tile would make the tile-advance
+/// loops (`i0 += ib` with `ib = min(tile, remaining) = 0`) spin forever, so
+/// the degenerate knobs are rejected at this public boundary instead.
 pub fn gemm_blocked_tiled<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
     a: &View<'_, S::Elem>,
@@ -37,6 +49,10 @@ pub fn gemm_blocked_tiled<S: Semiring>(
     nc: usize,
 ) {
     super::check_shapes(c, a, b);
+    assert!(
+        mc > 0 && kc > 0 && nc > 0,
+        "gemm tile sizes must be positive (got mc={mc}, kc={kc}, nc={nc})"
+    );
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     let mut i0 = 0;
     while i0 < m {
@@ -56,11 +72,19 @@ pub fn gemm_blocked_tiled<S: Semiring>(
     }
 }
 
-/// Innermost tile: i-k-j with the j-loop over contiguous row slices.
-/// (Index-offset loops kept as written: the kernel mirrors the BLAS-style
-/// tiling math, and iterator forms obscure the `k0..k0+kb` windows.)
+/// Innermost tile: i-k-j with the reduction (`k`) loop unrolled 4× so each
+/// pass over the `C` row folds four `B` rows into it — one load/store of
+/// `C(i, j)` per four semiring FMAs instead of per one.
+///
+/// # Safety argument (bounds-check elimination)
+/// All unchecked accesses index slices whose lengths are established right
+/// here: `c_row` and each `b_row_l` are sliced to exactly `jb` elements
+/// (the slicing itself is checked), and `j < jb` in the inner loop, so
+/// every `get_unchecked(j)` is in bounds. `a_row` has `a.cols()` elements
+/// and `l < k0 + kb ≤ a.cols()` per `check_shapes` + the caller's tiling
+/// arithmetic — re-verified by the `debug_assert!`s below in debug builds.
 #[inline]
-#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+#[allow(clippy::too_many_arguments)]
 fn micro_kernel<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
     a: &View<'_, S::Elem>,
@@ -72,15 +96,53 @@ fn micro_kernel<S: Semiring>(
     jb: usize,
     kb: usize,
 ) {
+    debug_assert!(i0 + ib <= c.rows() && i0 + ib <= a.rows());
+    debug_assert!(j0 + jb <= c.cols() && j0 + jb <= b.cols());
+    debug_assert!(k0 + kb <= a.cols() && k0 + kb <= b.rows());
+    let k_end = k0 + kb;
     for i in i0..i0 + ib {
         let a_row = a.row(i);
         let c_row = &mut c.row_mut(i)[j0..j0 + jb];
-        for l in k0..k0 + kb {
-            let a_il = a_row[l];
-            let b_row = &b.row(l)[j0..j0 + jb];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj = S::fma(*cj, a_il, bj);
+        let mut l = k0;
+        while l + 4 <= k_end {
+            // SAFETY: l..l+4 < k_end ≤ a_row.len() (debug_assert above).
+            let (a0, a1, a2, a3) = unsafe {
+                (
+                    *a_row.get_unchecked(l),
+                    *a_row.get_unchecked(l + 1),
+                    *a_row.get_unchecked(l + 2),
+                    *a_row.get_unchecked(l + 3),
+                )
+            };
+            let b0 = &b.row(l)[j0..j0 + jb];
+            let b1 = &b.row(l + 1)[j0..j0 + jb];
+            let b2 = &b.row(l + 2)[j0..j0 + jb];
+            let b3 = &b.row(l + 3)[j0..j0 + jb];
+            for j in 0..jb {
+                // SAFETY: j < jb and every slice here has length exactly jb.
+                unsafe {
+                    let mut cj = *c_row.get_unchecked(j);
+                    cj = S::fma(cj, a0, *b0.get_unchecked(j));
+                    cj = S::fma(cj, a1, *b1.get_unchecked(j));
+                    cj = S::fma(cj, a2, *b2.get_unchecked(j));
+                    cj = S::fma(cj, a3, *b3.get_unchecked(j));
+                    *c_row.get_unchecked_mut(j) = cj;
+                }
             }
+            l += 4;
+        }
+        while l < k_end {
+            // SAFETY: l < k_end ≤ a_row.len().
+            let a_il = unsafe { *a_row.get_unchecked(l) };
+            let b_row = &b.row(l)[j0..j0 + jb];
+            for j in 0..jb {
+                // SAFETY: j < jb = length of both slices.
+                unsafe {
+                    *c_row.get_unchecked_mut(j) =
+                        S::fma(*c_row.get_unchecked(j), a_il, *b_row.get_unchecked(j));
+                }
+            }
+            l += 1;
         }
     }
 }
@@ -118,6 +180,21 @@ mod tests {
     }
 
     #[test]
+    fn k_remainders_hit_both_unroll_paths() {
+        // kb mod 4 ∈ {0, 1, 2, 3}: every remainder exercises the unrolled
+        // body plus the scalar tail of the micro-kernel
+        for k in [4, 5, 6, 7, 8, 13] {
+            let a = lcg_matrix(9, k, 10 + k as u64);
+            let b = lcg_matrix(k, 11, 20 + k as u64);
+            let mut c1 = lcg_matrix(9, 11, 30);
+            let mut c2 = c1.clone();
+            gemm_naive::<MP>(&mut c1.view_mut(), &a.view(), &b.view());
+            gemm_blocked::<MP>(&mut c2.view_mut(), &a.view(), &b.view());
+            assert!(c1.eq_exact(&c2), "mismatch at k={k}");
+        }
+    }
+
+    #[test]
     fn non_divisible_tile_sizes() {
         let a = lcg_matrix(13, 11, 4);
         let b = lcg_matrix(11, 19, 5);
@@ -143,5 +220,34 @@ mod tests {
         assert!(pc.eq_exact(&pc2));
         // outside the target block nothing changed
         assert_eq!(pc[(0, 0)], pc2[(0, 0)]);
+    }
+
+    // Regression: zero tile sizes used to hang forever (`i0 += ib` with
+    // `ib = min(0, remaining) = 0`); they must be rejected loudly instead.
+    #[test]
+    #[should_panic(expected = "tile sizes must be positive")]
+    fn zero_mc_is_rejected_not_hung() {
+        let a = lcg_matrix(4, 4, 1);
+        let b = lcg_matrix(4, 4, 2);
+        let mut c = Matrix::filled(4, 4, f64::INFINITY);
+        gemm_blocked_tiled::<MP>(&mut c.view_mut(), &a.view(), &b.view(), 0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile sizes must be positive")]
+    fn zero_kc_is_rejected_not_hung() {
+        let a = lcg_matrix(4, 4, 1);
+        let b = lcg_matrix(4, 4, 2);
+        let mut c = Matrix::filled(4, 4, f64::INFINITY);
+        gemm_blocked_tiled::<MP>(&mut c.view_mut(), &a.view(), &b.view(), 4, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile sizes must be positive")]
+    fn zero_nc_is_rejected_not_hung() {
+        let a = lcg_matrix(4, 4, 1);
+        let b = lcg_matrix(4, 4, 2);
+        let mut c = Matrix::filled(4, 4, f64::INFINITY);
+        gemm_blocked_tiled::<MP>(&mut c.view_mut(), &a.view(), &b.view(), 4, 4, 0);
     }
 }

@@ -14,9 +14,9 @@ mod blocked;
 mod naive;
 mod parallel;
 
-pub use blocked::{gemm_blocked, gemm_blocked_tiled};
+pub use blocked::{gemm_blocked, gemm_blocked_tiled, KC, MC, NC};
 pub use naive::gemm_naive;
-pub use parallel::gemm_parallel;
+pub use parallel::{budget_threads, gemm_parallel, gemm_parallel_threads};
 
 use crate::matrix::{View, ViewMut};
 use crate::semiring::Semiring;

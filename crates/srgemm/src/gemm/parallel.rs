@@ -1,12 +1,23 @@
-//! Rayon-parallel semiring GEMM.
+//! Rayon-parallel semiring GEMM with an explicit thread budget.
 //!
 //! `C` is partitioned into disjoint row slabs, each slab updated by the
-//! serial blocked kernel on a rayon worker. Row-slab partitioning means no
+//! serial blocked kernel on its own worker. Row-slab partitioning means no
 //! two workers ever touch the same element of `C`, so no synchronization is
 //! needed inside the kernel — the rayon analogue of assigning threadblocks
 //! to output tiles on the GPU.
-
-use rayon::prelude::*;
+//!
+//! The thread budget exists because this kernel also runs *inside* the
+//! mpi-sim runtime, where every rank is already a thread: `p` ranks each
+//! spawning `cores` workers oversubscribes the machine `p`-fold. Callers in
+//! the distributed driver pass `threads = cores / active_ranks` (floor 1,
+//! see [`budget_threads`]) so ranks × kernel threads ≤ cores; single-node
+//! callers use [`gemm_parallel`], which budgets for one rank (all cores).
+//!
+//! Slab sizing is *balanced*, not ceil-divided: `nslabs` is capped at
+//! `m / MIN_ROWS_PER_SLAB`, then rows are split into `nslabs` near-equal
+//! parts (sizes differ by at most one). Since `nslabs ≤ m / MIN`, every
+//! slab has `base = m / nslabs ≥ MIN` rows — the old `div_ceil` scheme
+//! could strand a remainder slab of one row, paying a spawn for no work.
 
 use crate::gemm::blocked::gemm_blocked;
 use crate::matrix::{View, ViewMut};
@@ -14,41 +25,69 @@ use crate::semiring::Semiring;
 
 /// Minimum rows per parallel slab; below this the serial kernel is used
 /// outright (spawn overhead would dominate).
-const MIN_ROWS_PER_SLAB: usize = 16;
+pub(crate) const MIN_ROWS_PER_SLAB: usize = 16;
 
-/// `C ← C ⊕ A ⊗ B`, parallel over row slabs of `C`.
+/// Kernel threads a single rank may use when `active_ranks` ranks share the
+/// machine: `available_parallelism / active_ranks`, floor 1. This is the
+/// budget rule that keeps `ranks × kernel threads ≤ cores` (DESIGN.md §10).
+pub fn budget_threads(active_ranks: usize) -> usize {
+    (rayon::current_num_threads() / active_ranks.max(1)).max(1)
+}
+
+/// `C ← C ⊕ A ⊗ B`, parallel over row slabs of `C`, using all cores
+/// (budget for a single active rank).
 pub fn gemm_parallel<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
     a: &View<'_, S::Elem>,
     b: &View<'_, S::Elem>,
 ) {
+    gemm_parallel_threads::<S>(c, a, b, rayon::current_num_threads())
+}
+
+/// `C ← C ⊕ A ⊗ B`, parallel over row slabs of `C`, capped at `threads`
+/// workers (`threads = 0` is treated as 1). Each slab gets at least
+/// `MIN_ROWS_PER_SLAB` (16) rows unless `C` itself has fewer, in which case
+/// the serial kernel runs on the calling thread.
+pub fn gemm_parallel_threads<S: Semiring>(
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    b: &View<'_, S::Elem>,
+    threads: usize,
+) {
     super::check_shapes(c, a, b);
     let m = c.rows();
-    let threads = rayon::current_num_threads().max(1);
-    let slab = (m.div_ceil(threads)).max(MIN_ROWS_PER_SLAB);
-    if m <= MIN_ROWS_PER_SLAB || threads == 1 {
+    let nslabs = threads.min(m / MIN_ROWS_PER_SLAB).max(1);
+    if nslabs == 1 {
         gemm_blocked::<S>(c, a, b);
         return;
     }
 
-    // Reborrow to a local lifetime, then split into disjoint slabs.
-    let c_local = c.subview_mut(0, 0, m, c.cols());
-    let slabs = c_local.chunk_rows_mut(slab);
-    // Pair each C slab with the matching row range of A.
-    let jobs: Vec<(usize, ViewMut<'_, S::Elem>)> = {
-        let mut off = 0;
-        slabs
-            .into_iter()
-            .map(|s| {
-                let here = off;
-                off += s.rows();
-                (here, s)
-            })
-            .collect()
-    };
-    jobs.into_par_iter().for_each(|(row0, mut c_slab)| {
-        let a_slab = a.subview(row0, 0, c_slab.rows(), a.cols());
-        gemm_blocked::<S>(&mut c_slab, &a_slab, b);
+    // Balanced partition: `extra` slabs of `base + 1` rows, then `base`.
+    // nslabs ≤ m / MIN ⇒ base = m / nslabs ≥ MIN: no slab under the floor.
+    let base = m / nslabs;
+    let extra = m % nslabs;
+
+    // Reborrow to a local lifetime, then split into disjoint slabs paired
+    // with the matching row offset into `A`.
+    let mut rest = c.subview_mut(0, 0, m, c.cols());
+    let mut jobs: Vec<(usize, ViewMut<'_, S::Elem>)> = Vec::with_capacity(nslabs);
+    let mut off = 0;
+    for s in 0..nslabs {
+        let here = base + usize::from(s < extra);
+        let (slab, tail) = rest.split_rows_mut(here);
+        jobs.push((off, slab));
+        off += here;
+        rest = tail;
+    }
+    debug_assert_eq!(off, m);
+
+    std::thread::scope(|scope| {
+        for (row0, mut c_slab) in jobs {
+            let a_slab = a.subview(row0, 0, c_slab.rows(), a.cols());
+            scope.spawn(move || {
+                gemm_blocked::<S>(&mut c_slab, &a_slab, b);
+            });
+        }
     });
 }
 
@@ -102,5 +141,55 @@ mod tests {
         gemm_parallel::<RealArith<f32>>(&mut c2.view_mut(), &a.view(), &b.view());
         // values can exceed f32 integer range? max 512*512*32 ≈ 8.4e6 < 2^24, exact.
         assert!(c1.eq_exact(&c2));
+    }
+
+    #[test]
+    fn explicit_thread_counts_all_agree() {
+        let (m, n, k) = (130, 40, 30);
+        let a = lcg_matrix(m, k, 7);
+        let b = lcg_matrix(k, n, 8);
+        let mut oracle = Matrix::filled(m, n, f32::INFINITY);
+        gemm_naive::<MinPlus<f32>>(&mut oracle.view_mut(), &a.view(), &b.view());
+        for threads in [0, 1, 2, 3, 4, 7, 8, 64] {
+            let mut c = Matrix::filled(m, n, f32::INFINITY);
+            gemm_parallel_threads::<MinPlus<f32>>(&mut c.view_mut(), &a.view(), &b.view(), threads);
+            assert!(oracle.eq_exact(&c), "mismatch at threads={threads}");
+        }
+    }
+
+    // Regression: the old ceil-divide slab sizing could produce a final slab
+    // far below MIN_ROWS_PER_SLAB (e.g. m=33, 2 threads → slabs of 17+16 is
+    // fine, but m=49, 3 threads gave 17+17+15, and m=65, 4 → 17×3+14; worst
+    // cases stranded a 1-row slab). The balanced partition must never go
+    // below the floor unless m itself is below it.
+    #[test]
+    fn no_slab_below_floor() {
+        // mirror of the partition arithmetic in gemm_parallel_threads
+        for m in 1..200 {
+            for threads in 1..10 {
+                let nslabs = threads.min(m / MIN_ROWS_PER_SLAB).max(1);
+                let base = m / nslabs;
+                let extra = m % nslabs;
+                let sizes: Vec<usize> =
+                    (0..nslabs).map(|s| base + usize::from(s < extra)).collect();
+                assert_eq!(sizes.iter().sum::<usize>(), m);
+                if nslabs > 1 {
+                    assert!(
+                        sizes.iter().all(|&s| s >= MIN_ROWS_PER_SLAB),
+                        "m={m} threads={threads} sizes={sizes:?}"
+                    );
+                }
+                // near-equal: max - min ≤ 1
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced m={m} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_floor_is_one() {
+        assert!(budget_threads(usize::MAX) >= 1);
+        assert!(budget_threads(0) >= 1);
+        assert!(budget_threads(1) >= 1);
     }
 }

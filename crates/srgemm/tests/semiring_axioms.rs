@@ -95,6 +95,35 @@ proptest! {
     }
 
     #[test]
+    fn thread_budgeted_parallel_is_bit_equal_to_serial(
+        (m, n, k) in (1usize..96, 1usize..40, 1usize..40),
+        threads in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        // The thread budget must never change the answer: row slabs are
+        // disjoint and min-plus has no rounding, so every thread count —
+        // including the degenerate 0 (treated as 1) and counts far above
+        // m / MIN_ROWS_PER_SLAB — must be bit-identical to the serial kernel.
+        use srgemm::gemm::{gemm_blocked, gemm_parallel_threads};
+        let mk = |s: u64, rows: usize, cols: usize| {
+            let mut state = s | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (state >> 60) == 0 { f64::INFINITY } else { ((state >> 33) % 2048) as f64 }
+            })
+        };
+        let a = mk(seed, m, k);
+        let b = mk(seed.wrapping_add(1), k, n);
+        let c0 = mk(seed.wrapping_add(2), m, n);
+
+        let mut want = c0.clone();
+        gemm_blocked::<MinPlus<f64>>(&mut want.view_mut(), &a.view(), &b.view());
+        let mut got = c0.clone();
+        gemm_parallel_threads::<MinPlus<f64>>(&mut got.view_mut(), &a.view(), &b.view(), threads);
+        prop_assert!(want.eq_exact(&got), "threads={} diverged on {}x{}x{}", threads, m, n, k);
+    }
+
+    #[test]
     fn gemm_monotone_in_c(n in 1usize..12, seed in any::<u64>()) {
         // min-plus gemm can only lower entries of C
         let mut state = seed | 1;

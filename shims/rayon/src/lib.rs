@@ -1,18 +1,24 @@
 //! Std-only shim for the `rayon` API subset used by this workspace:
-//! `into_par_iter()` on vectors and ranges with `map`/`for_each`/`collect`,
-//! plus [`current_num_threads`].
+//! `into_par_iter()` on vectors and integer ranges with
+//! `map`/`for_each`/`collect`, plus [`current_num_threads`].
 //!
 //! The build environment cannot reach crates.io, so this replaces rayon's
 //! work-stealing pool with scoped threads over contiguous chunks — one chunk
 //! per available core. For the workspace's workloads (row slabs of a GEMM,
 //! one Dijkstra per source) the items are uniform enough that static
 //! chunking keeps the cores busy.
+//!
+//! Ranges are **never materialized**: `(0..n).into_par_iter()` yields a
+//! [`ParRange`] that splits `n` arithmetically into per-worker subranges
+//! (`O(workers)` bookkeeping, not `O(n)` allocation), so index-only loops
+//! over huge ranges cost no memory. Only `map`/`collect` allocate — for
+//! their results, which is inherent.
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter};
+    pub use crate::{IntoParallelIterator, ParIter, ParRange};
 }
 
 /// Number of worker threads parallel operations will use.
@@ -24,12 +30,17 @@ pub fn current_num_threads() -> usize {
 
 /// Entry point mirroring `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
+    /// Item the parallel iterator yields.
     type Item: Send;
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    /// Concrete parallel-iterator type (`ParIter` for owned item lists,
+    /// `ParRange` for arithmetic ranges).
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
+    type Iter = ParIter<T>;
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
     }
@@ -37,15 +48,141 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 
 impl IntoParallelIterator for Range<usize> {
     type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+    type Iter = ParRange<usize>;
+    fn into_par_iter(self) -> ParRange<usize> {
+        let len = self.end.saturating_sub(self.start);
+        ParRange { start: self.start, len }
     }
 }
 
 impl IntoParallelIterator for Range<u32> {
     type Item = u32;
-    fn into_par_iter(self) -> ParIter<u32> {
-        ParIter { items: self.collect() }
+    type Iter = ParRange<u32>;
+    fn into_par_iter(self) -> ParRange<u32> {
+        let len = (self.end.saturating_sub(self.start)) as usize;
+        ParRange { start: self.start, len }
+    }
+}
+
+/// Integer index types a [`ParRange`] can step through.
+pub trait RangeIndex: Copy + Send + Sync + 'static {
+    /// `self + n` (never overflows for indices inside the source range).
+    fn add_usize(self, n: usize) -> Self;
+}
+
+impl RangeIndex for usize {
+    #[inline]
+    fn add_usize(self, n: usize) -> usize {
+        self + n
+    }
+}
+
+impl RangeIndex for u32 {
+    #[inline]
+    fn add_usize(self, n: usize) -> u32 {
+        self + n as u32
+    }
+}
+
+/// A lazy "parallel iterator" over an arithmetic index range. Holds only
+/// `(start, len)`; subranges are computed arithmetically, so no `Vec` of
+/// indices is ever built.
+pub struct ParRange<I: RangeIndex> {
+    start: I,
+    len: usize,
+}
+
+impl<I: RangeIndex> ParRange<I> {
+    /// Split into at most `parts` contiguous `(start, len)` subranges of
+    /// near-equal size covering the whole range.
+    fn subranges(&self, parts: usize) -> Vec<(I, usize)> {
+        let parts = parts.clamp(1, self.len.max(1));
+        let base = self.len / parts;
+        let extra = self.len % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut off = 0usize;
+        for p in 0..parts {
+            let here = base + usize::from(p < extra);
+            if here == 0 {
+                break;
+            }
+            out.push((self.start.add_usize(off), here));
+            off += here;
+        }
+        out
+    }
+
+    /// Run `f` on every index, fanned out over the available cores.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Send + Sync,
+    {
+        if self.len == 0 {
+            return;
+        }
+        let workers = current_num_threads().min(self.len);
+        if workers <= 1 {
+            for k in 0..self.len {
+                f(self.start.add_usize(k));
+            }
+            return;
+        }
+        let subs = self.subranges(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subs
+                .into_iter()
+                .map(|(start, len)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for k in 0..len {
+                            f(start.add_usize(k));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel worker panicked");
+            }
+        });
+    }
+
+    /// Map every index (in parallel); order is preserved. Allocates only
+    /// for the mapped results.
+    pub fn map<R: Send, F>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(I) -> R + Send + Sync,
+    {
+        if self.len == 0 {
+            return ParIter { items: Vec::new() };
+        }
+        let workers = current_num_threads().min(self.len);
+        if workers <= 1 {
+            let items = (0..self.len).map(|k| f(self.start.add_usize(k))).collect();
+            return ParIter { items };
+        }
+        let subs = self.subranges(workers);
+        let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = subs
+                .into_iter()
+                .map(|(start, len)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        (0..len).map(|k| f(start.add_usize(k))).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        ParIter { items: chunks.into_iter().flatten().collect() }
+    }
+
+    /// Materialize the indices; `C` is typically `Vec<I>`. This is the one
+    /// range operation that allocates `O(len)` — by request.
+    pub fn collect<C: From<Vec<I>>>(self) -> C {
+        C::from((0..self.len).map(|k| self.start.add_usize(k)).collect::<Vec<I>>())
     }
 }
 
@@ -125,7 +262,7 @@ fn run_chunked_collect<T: Send, R: Send>(
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn map_preserves_order() {
@@ -147,5 +284,46 @@ mod tests {
         let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
         Vec::<u32>::new().into_par_iter().for_each(|_| panic!("no items"));
+        (0..0usize).into_par_iter().for_each(|_| panic!("no items"));
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn huge_range_does_not_materialize() {
+        // Regression: `into_par_iter` on a range used to `collect()` the
+        // whole range into a Vec — O(n) allocation. Building the parallel
+        // iterator for a range of usize::MAX indices must be O(1); with the
+        // old implementation this line OOM-aborts.
+        let it = (0..usize::MAX).into_par_iter();
+        assert_eq!(it.subranges(4).len(), 4);
+
+        // And a large range is processed with O(workers) bookkeeping only:
+        // 10M indices would be 80 MB materialized; this runs in constant
+        // space and visits every index exactly once.
+        let sum = AtomicU64::new(0);
+        let n: usize = 10_000_000;
+        (0..n).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn nonzero_range_start_is_respected() {
+        let visited = AtomicUsize::new(0);
+        (100..200usize).into_par_iter().for_each(|i| {
+            assert!((100..200).contains(&i));
+            visited.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(visited.load(Ordering::Relaxed), 100);
+        let out: Vec<u32> = (10..15u32).into_par_iter().map(|i| i).collect();
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn range_collect_materializes_on_request() {
+        let out: Vec<usize> = (3..7usize).into_par_iter().collect();
+        assert_eq!(out, vec![3, 4, 5, 6]);
     }
 }
