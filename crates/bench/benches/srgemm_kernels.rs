@@ -1,8 +1,13 @@
-//! SRGEMM kernel benchmarks: naive vs cache-blocked vs rayon-parallel
-//! min-plus GEMM, plus the tile-size ablation called out in DESIGN.md §7.
+//! SRGEMM kernel benchmarks: naive vs cache-blocked vs packed/register-tiled
+//! vs rayon-parallel min-plus GEMM, plus the tile-size ablation called out
+//! in DESIGN.md §7 and a packing ablation (packed-with-shared-B vs packing
+//! per call) for the per-iteration panel reuse in the FW drivers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use srgemm::gemm::{gemm_blocked, gemm_blocked_tiled, gemm_flops, gemm_naive, gemm_parallel};
+use srgemm::gemm::{
+    gemm_blocked, gemm_blocked_tiled, gemm_flops, gemm_naive, gemm_packed, gemm_packed_with_b,
+    gemm_parallel, PackedB,
+};
 use srgemm::{Matrix, MinPlusF32};
 
 fn lcg(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
@@ -35,10 +40,27 @@ fn bench_kernels(c: &mut Criterion) {
                 c
             })
         });
+        g.bench_with_input(BenchmarkId::new("packed", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = c0.clone();
+                gemm_packed::<MinPlusF32>(&mut c.view_mut(), &a.view(), &b.view());
+                c
+            })
+        });
         g.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut c = c0.clone();
                 gemm_parallel::<MinPlusF32>(&mut c.view_mut(), &a.view(), &b.view());
+                c
+            })
+        });
+        // panel-reuse ablation: B packed once outside the timed loop, the
+        // shape of the FW drivers' per-iteration reuse
+        let pb = PackedB::pack::<MinPlusF32>(&b.view());
+        g.bench_with_input(BenchmarkId::new("packed_shared_b", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = c0.clone();
+                gemm_packed_with_b::<MinPlusF32>(&mut c.view_mut(), &a.view(), &pb);
                 c
             })
         });

@@ -3,12 +3,14 @@
 //!
 //! Unlike the figure binaries (which report *simulated* Summit time), this
 //! module measures the real kernels of the reproduction on the machine it
-//! runs on: the three GEMM kernels × element widths, blocked
+//! runs on: the four GEMM kernels × element widths, a headline GEMM entry
+//! recording the packed kernel against the blocked one at a larger size
+//! (`baseline_wall_s`/`speedup` carried in the artifact), blocked
 //! Floyd-Warshall, end-to-end `distributed_apsp` at every corner of the
 //! 2×2×2 policy cube, and a headline distributed run recorded twice — once
 //! with the pre-PR serial OuterUpdate (`baseline_wall_s`) and once with the
-//! thread-budgeted kernel (`wall_s`) — so the speedup claim is carried *in*
-//! the artifact rather than asserted in prose.
+//! thread-budgeted kernel (`wall_s`) — so the speedup claims are carried
+//! *in* the artifact rather than asserted in prose.
 //!
 //! Schema (`apsp-bench-perf/1`): a top-level object with `schema`, `mode`,
 //! `reps`, `available_parallelism`, and `entries`; each entry has `name`
@@ -20,7 +22,7 @@ use std::time::Instant;
 
 use apsp_core::{distributed_apsp, fw_blocked, DiagMethod, Exec, FwConfig, PanelBcastAlgo, Schedule};
 use apsp_graph::generators::{self, WeightKind};
-use srgemm::gemm::{gemm_blocked, gemm_flops, gemm_naive, gemm_parallel};
+use srgemm::gemm::{gemm_blocked, gemm_flops, gemm_naive, gemm_packed, gemm_parallel};
 use srgemm::{Matrix, MinPlus, Semiring};
 
 use crate::json::Json;
@@ -280,7 +282,7 @@ pub fn compare(old: &Report, new: &Report, threshold: f64) -> Result<CompareRepo
     Ok(CompareReport { deltas, added, removed, threshold })
 }
 
-/// Suite sizing: `full` produces the committed `BENCH_PR4.json`; `quick`
+/// Suite sizing: `full` produces the committed `BENCH_PR5.json`; `quick`
 /// is the CI smoke (seconds, not minutes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {
@@ -301,6 +303,7 @@ impl Mode {
 
 struct Sizes {
     gemm_n: usize,
+    gemm_headline_n: usize,
     fw_n: usize,
     fw_b: usize,
     dist_n: usize,
@@ -313,6 +316,7 @@ fn sizes(mode: Mode) -> Sizes {
     match mode {
         Mode::Full => Sizes {
             gemm_n: 256,
+            gemm_headline_n: 512,
             fw_n: 256,
             fw_b: 64,
             dist_n: 192,
@@ -322,6 +326,7 @@ fn sizes(mode: Mode) -> Sizes {
         },
         Mode::Quick => Sizes {
             gemm_n: 64,
+            gemm_headline_n: 128,
             fw_n: 64,
             fw_b: 16,
             dist_n: 48,
@@ -364,9 +369,10 @@ where
     let b = mk(22);
     let c0 = mk(33);
     let flops = gemm_flops(n, n, n);
-    let algos: [(&str, GemmFn<S::Elem>); 3] = [
+    let algos: [(&str, GemmFn<S::Elem>); 4] = [
         ("naive", gemm_naive::<S>),
         ("blocked", gemm_blocked::<S>),
+        ("packed", gemm_packed::<S>),
         ("parallel", gemm_parallel::<S>),
     ];
     algos
@@ -410,6 +416,43 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
             ((state >> 33) % 1000) as f64 / 8.0
         })
     }));
+
+    // --- headline GEMM: packed vs blocked at a larger size ----------------
+    // The per-kernel entries above share one (small) n; this entry records
+    // the packed kernel's win over the blocked one at a size where the
+    // register-tiled micro-kernel's arithmetic density dominates, carrying
+    // the speedup in the artifact like the distributed headline below.
+    eprintln!("[perf] gemm headline (packed vs blocked), n = {}", sz.gemm_headline_n);
+    {
+        let n = sz.gemm_headline_n;
+        let a = lcg_matrix_f32(n, 55);
+        let b = lcg_matrix_f32(n, 66);
+        let c0 = lcg_matrix_f32(n, 77);
+        let baseline_wall_s = time_min(
+            reps,
+            || c0.clone(),
+            |mut c| gemm_blocked::<MinPlus<f32>>(&mut c.view_mut(), &a.view(), &b.view()),
+        );
+        let wall_s = time_min(
+            reps,
+            || c0.clone(),
+            |mut c| gemm_packed::<MinPlus<f32>>(&mut c.view_mut(), &a.view(), &b.view()),
+        );
+        let flops = gemm_flops(n, n, n);
+        eprintln!(
+            "  gemm/packed/headline_minplus_f32: blocked {baseline_wall_s:.6}s, packed {wall_s:.6}s, x{:.3}",
+            baseline_wall_s / wall_s
+        );
+        entries.push(Entry {
+            name: "gemm/packed/headline_minplus_f32".to_string(),
+            group: "gemm".to_string(),
+            params: vec![("n".to_string(), n as f64)],
+            wall_s,
+            gflops: Some(flops / wall_s / 1e9),
+            baseline_wall_s: Some(baseline_wall_s),
+            speedup: Some(baseline_wall_s / wall_s),
+        });
+    }
 
     // --- Blocked Floyd-Warshall ------------------------------------------
     eprintln!("[perf] fw_blocked, n = {}, b = {}", sz.fw_n, sz.fw_b);

@@ -16,13 +16,14 @@ USAGE:
 RUN OPTIONS:
     --quick          CI-smoke sizes (seconds); default is the full suite
     --reps N         repetitions per entry, wall_s is the minimum [default: 3]
-    --out FILE       output path [default: BENCH_PR4.json]; '-' for stdout
+    --out FILE       output path [default: BENCH_PR5.json]; '-' for stdout
 
 COMPARE OPTIONS:
     --threshold PCT  regression threshold in percent [default: 15]
     --report-only    print the diff but never fail the exit code
 
-The suite measures the GEMM kernels (naive/blocked/parallel x f32/f64),
+The suite measures the GEMM kernels (naive/blocked/packed/parallel x
+f32/f64), the headline packed-vs-blocked GEMM (baseline_wall_s vs wall_s),
 blocked Floyd-Warshall, distributed_apsp at all 8 corners of the
 (schedule x bcast x exec) cube, and the headline distributed run with its
 serial-OuterUpdate baseline (baseline_wall_s vs wall_s).";
@@ -43,7 +44,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 fn run_suite(args: &[String]) -> Result<(), String> {
     let mut mode = Mode::Full;
     let mut reps = 3usize;
-    let mut out = "BENCH_PR4.json".to_string();
+    let mut out = "BENCH_PR5.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -29,11 +29,14 @@
 
 use gpu_sim::{oog_srgemm, SimGpu};
 use mpi_sim::ProcessGrid;
-use srgemm::gemm::{budget_threads, gemm_blocked, gemm_parallel_threads};
+use srgemm::gemm::{
+    budget_threads, gemm_packed, gemm_packed_with_b, gemm_parallel_threads,
+    gemm_parallel_threads_with_b, PackedB,
+};
 use srgemm::matrix::{View, ViewMut};
 use srgemm::semiring::Semiring;
 
-use super::{diag_and_panels, DistError, DistMatrix, FwConfig, PanelSet, Schedule};
+use super::{diag_and_panels, DistError, DistMatrix, FwConfig, PackedPanels, Schedule};
 
 /// Execution policy for the OuterUpdate phase: applies
 /// `C ← C ⊕ A ⊗ B` to a view of the local matrix (the whole matrix for the
@@ -48,6 +51,27 @@ pub trait OuterExec<S: Semiring> {
         a: &View<'_, S::Elem>,
         b: &View<'_, S::Elem>,
     ) -> Result<(), DistError>;
+
+    /// Whether this executor consumes a pre-packed row panel. When `true`,
+    /// the driver packs the broadcast row panel once per iteration and feeds
+    /// the same [`PackedB`] to every update of that iteration (look-ahead
+    /// row strip + bulk) via [`OuterExec::outer_update_packed`].
+    fn wants_packed(&self) -> bool {
+        false
+    }
+
+    /// Apply an outer-product update against a pre-packed `B`. Called only
+    /// when [`OuterExec::wants_packed`] returns `true`; the default (for
+    /// executors with their own staging pipeline, e.g. the GPU offload
+    /// path) panics to flag the contract violation.
+    fn outer_update_packed(
+        &mut self,
+        _c: &mut ViewMut<'_, S::Elem>,
+        _a: &View<'_, S::Elem>,
+        _pb: &PackedB<S::Elem>,
+    ) -> Result<(), DistError> {
+        unreachable!("outer_update_packed on an executor with wants_packed() == false")
+    }
 }
 
 /// In-core execution: the OuterUpdate is one blocked GEMM over the view,
@@ -95,9 +119,27 @@ impl<S: Semiring> OuterExec<S> for InCoreGemm {
         b: &View<'_, S::Elem>,
     ) -> Result<(), DistError> {
         if self.threads <= 1 {
-            gemm_blocked::<S>(c, a, b);
+            gemm_packed::<S>(c, a, b);
         } else {
             gemm_parallel_threads::<S>(c, a, b, self.threads);
+        }
+        Ok(())
+    }
+
+    fn wants_packed(&self) -> bool {
+        true
+    }
+
+    fn outer_update_packed(
+        &mut self,
+        c: &mut ViewMut<'_, S::Elem>,
+        a: &View<'_, S::Elem>,
+        pb: &PackedB<S::Elem>,
+    ) -> Result<(), DistError> {
+        if self.threads <= 1 {
+            gemm_packed_with_b::<S>(c, a, pb);
+        } else {
+            gemm_parallel_threads_with_b::<S>(c, a, pb, self.threads);
         }
         Ok(())
     }
@@ -221,13 +263,31 @@ fn run_bulk_sync<S: Semiring, E: OuterExec<S>>(
     exec: &mut E,
 ) -> Result<(), DistError> {
     for k in 0..a.nb {
-        let panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.bcast)?;
+        let mut panels = diag_and_panels::<S>(grid, a, k, cfg.diag, cfg.bcast)?;
+        if exec.wants_packed() {
+            panels.pack_row::<S>();
+        }
         // OuterUpdate(k): whole local matrix (re-touching the freshly-updated
         // k-th strips is a no-op — see `fw_blocked`'s module docs)
         let _p = grid.grid.phase("OuterUpdate");
-        exec.outer_update(&mut a.local.view_mut(), &panels.col_panel.view(), &panels.row_panel.view())?;
+        bulk_outer_update::<S, E>(a, &panels, exec)?;
     }
     Ok(())
+}
+
+/// OuterUpdate(k) over the whole local matrix, through the packed row panel
+/// when the executor consumes one.
+fn bulk_outer_update<S: Semiring, E: OuterExec<S>>(
+    a: &mut DistMatrix<S::Elem>,
+    panels: &PackedPanels<S::Elem>,
+    exec: &mut E,
+) -> Result<(), DistError> {
+    let mut c = a.local.view_mut();
+    let av = panels.col_panel.view();
+    match &panels.packed_row {
+        Some(pb) => exec.outer_update_packed(&mut c, &av, pb),
+        None => exec.outer_update(&mut c, &av, &panels.row_panel.view()),
+    }
 }
 
 /// Algorithm 4 shape: look-ahead pipeline. The (k+1)-th strips are relaxed
@@ -238,8 +298,14 @@ fn run_look_ahead<S: Semiring, E: OuterExec<S>>(
     cfg: &FwConfig,
     exec: &mut E,
 ) -> Result<(), DistError> {
-    // Prime the pipeline: diag/panel work for k = 0.
+    // Prime the pipeline: diag/panel work for k = 0. Each panel set is
+    // packed at most once, right after its broadcast lands, and the same
+    // packed copy then serves the look-ahead row strip *and* the bulk
+    // OuterUpdate of its iteration.
     let mut panels = diag_and_panels::<S>(grid, a, 0, cfg.diag, cfg.bcast)?;
+    if exec.wants_packed() {
+        panels.pack_row::<S>();
+    }
 
     for k in 0..a.nb {
         let next = if k + 1 < a.nb {
@@ -250,7 +316,11 @@ fn run_look_ahead<S: Semiring, E: OuterExec<S>>(
             }
             // ---- then the full (k+1) diag/panel phase, overlapping the big
             //      OuterUpdate(k) in the schedule model ----
-            Some(diag_and_panels::<S>(grid, a, k + 1, cfg.diag, cfg.bcast)?)
+            let mut p = diag_and_panels::<S>(grid, a, k + 1, cfg.diag, cfg.bcast)?;
+            if exec.wants_packed() {
+                p.pack_row::<S>();
+            }
+            Some(p)
         } else {
             None
         };
@@ -259,7 +329,7 @@ fn run_look_ahead<S: Semiring, E: OuterExec<S>>(
         // (the k+1 strips were already relaxed with these same panels, and
         // min-plus relaxation is monotone, so re-touching them is a no-op)
         let _p = grid.grid.phase("OuterUpdate");
-        exec.outer_update(&mut a.local.view_mut(), &panels.col_panel.view(), &panels.row_panel.view())?;
+        bulk_outer_update::<S, E>(a, &panels, exec)?;
 
         if let Some(p) = next {
             panels = p;
@@ -275,18 +345,25 @@ fn run_look_ahead<S: Semiring, E: OuterExec<S>>(
 fn lookahead_update<S: Semiring, E: OuterExec<S>>(
     a: &mut DistMatrix<S::Elem>,
     next: usize,
-    panels: &PanelSet<S::Elem>,
+    panels: &PackedPanels<S::Elem>,
     exec: &mut E,
 ) -> Result<(), DistError> {
-    // row strip `next`: A(next, :) ⊕= A(next, k) ⊗ A(k, :)
+    // row strip `next`: A(next, :) ⊕= A(next, k) ⊗ A(k, :) — the B operand
+    // is the *whole* row panel, so the iteration's packed copy is reused
     if a.owns_row(next) {
         let r0 = a.local_row_start(next);
         let bk1 = a.block_dim(next);
         let col_slice = panels.col_panel.subview(r0, 0, bk1, panels.col_panel.cols());
         let mut strip = a.row_strip_mut(next);
-        exec.outer_update(&mut strip, &col_slice, &panels.row_panel.view())?;
+        match &panels.packed_row {
+            Some(pb) => exec.outer_update_packed(&mut strip, &col_slice, pb)?,
+            None => exec.outer_update(&mut strip, &col_slice, &panels.row_panel.view())?,
+        }
     }
-    // column strip `next`: A(:, next) ⊕= A(:, k) ⊗ A(k, next)
+    // column strip `next`: A(:, next) ⊕= A(:, k) ⊗ A(k, next) — the B
+    // operand is a b×b column *slice* of the row panel, which does not
+    // coincide with packed-tile boundaries, so this small update stays on
+    // the unpacked path (it is O(n·b²) against the O(n²·b) bulk update)
     if a.owns_col(next) {
         let c0 = a.local_col_start(next);
         let bk1 = a.block_dim(next);

@@ -363,12 +363,35 @@ pub(crate) fn bcast_matrix<S: Semiring>(
 }
 
 /// Per-iteration context shared by the driver loops: the closed diagonal
-/// broadcast to the k-th process row/column, then the panels to everyone.
-pub(crate) struct PanelSet<T> {
+/// broadcast to the k-th process row/column, then the panels to everyone —
+/// plus, when the executor consumes it, the row panel pre-packed into the
+/// micro-kernel's tiled layout.
+///
+/// Packing happens **once per iteration** (in the driver, right after the
+/// broadcast lands) and the same [`PackedB`] then feeds both the look-ahead
+/// row-strip update and the bulk OuterUpdate — the panel is the `B` operand
+/// of every GEMM of the iteration, so one pack amortizes over all of them.
+/// The column panel is the `A` operand (packed per-slab inside the kernel)
+/// and the look-ahead *column* strip multiplies against a `b_k`-column
+/// sub-slice of the row panel, whose packed tiles would not line up; both
+/// therefore stay unpacked (see `lookahead_update`).
+pub(crate) struct PackedPanels<T> {
     /// `local_rows × b_k` column panel (`A(:,k)` restricted to my rows).
     pub col_panel: Matrix<T>,
     /// `b_k × local_cols` row panel (`A(k,:)` restricted to my cols).
     pub row_panel: Matrix<T>,
+    /// `row_panel` in packed-tile layout; `Some` only when the executor
+    /// reports [`OuterExec::wants_packed`].
+    pub packed_row: Option<srgemm::gemm::PackedB<T>>,
+}
+
+impl<T: Copy> PackedPanels<T> {
+    /// Pack the row panel (idempotent; a no-op if already packed).
+    pub fn pack_row<S: Semiring<Elem = T>>(&mut self) {
+        if self.packed_row.is_none() {
+            self.packed_row = Some(srgemm::gemm::PackedB::pack::<S>(&self.row_panel.view()));
+        }
+    }
 }
 
 /// DiagUpdate + DiagBcast + PanelUpdate + PanelBcast for iteration `k` —
@@ -382,7 +405,7 @@ pub(crate) fn diag_and_panels<S: Semiring>(
     k: usize,
     diag_method: DiagMethod,
     how: PanelBcastAlgo,
-) -> Result<PanelSet<S::Elem>, DistError> {
+) -> Result<PackedPanels<S::Elem>, DistError> {
     use srgemm::closure::{fw_closure, fw_closure_squaring};
     use srgemm::panel::{panel_update_left, panel_update_right};
 
@@ -457,7 +480,7 @@ pub(crate) fn diag_and_panels<S: Semiring>(
         bk,
         how,
     )?;
-    Ok(PanelSet { col_panel, row_panel })
+    Ok(PackedPanels { col_panel, row_panel, packed_row: None })
 }
 
 /// Run the configured policy triple on this rank's share of an existing

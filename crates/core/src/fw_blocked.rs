@@ -9,9 +9,16 @@
 //! so correctness is unchanged while the update becomes a single
 //! rayon-friendly GEMM — the same trade the GPU implementation makes by
 //! launching one large SRGEMM instead of one kernel per block.
+//!
+//! The outer product consumes the row panel through a [`PackedB`]: the
+//! panel is packed into the micro-kernel's tiled layout **once per
+//! iteration** (reusing one allocation across all `nb` iterations via
+//! [`PackedB::repack`]) and streamed by every row slab of the GEMM, serial
+//! or parallel — the single-node form of the per-`k` panel reuse the
+//! distributed driver performs on its broadcast panels.
 
 use srgemm::closure::{fw_closure, fw_closure_squaring};
-use srgemm::gemm::{gemm_blocked, gemm_parallel};
+use srgemm::gemm::{budget_threads, gemm_packed_with_b, gemm_parallel_threads_with_b, PackedB};
 use srgemm::matrix::Matrix;
 use srgemm::panel::{panel_update_left, panel_update_right};
 use srgemm::semiring::Semiring;
@@ -44,6 +51,9 @@ pub fn fw_blocked<S: Semiring>(d: &mut Matrix<S::Elem>, b: usize, diag: DiagMeth
         return;
     }
     let nb = n.div_ceil(b);
+    // One packed-B buffer for the whole run: repacked (allocation reused)
+    // with each iteration's row panel, shared by every slab of the GEMM.
+    let mut packed_row: Option<PackedB<S::Elem>> = None;
 
     for k in 0..nb {
         let k0 = k * b;
@@ -83,10 +93,22 @@ pub fn fw_blocked<S: Semiring>(d: &mut Matrix<S::Elem>, b: usize, diag: DiagMeth
         // snapshot the k-th block column and row, then one full-matrix GEMM
         let col_panel = d.block(0, k0, n, bk);
         let row_panel = d.block(k0, 0, bk, n);
+        let pb = match packed_row.as_mut() {
+            Some(pb) => {
+                pb.repack::<S>(&row_panel.view());
+                pb
+            }
+            None => packed_row.insert(PackedB::pack::<S>(&row_panel.view())),
+        };
         if parallel {
-            gemm_parallel::<S>(&mut d.view_mut(), &col_panel.view(), &row_panel.view());
+            gemm_parallel_threads_with_b::<S>(
+                &mut d.view_mut(),
+                &col_panel.view(),
+                pb,
+                budget_threads(1),
+            );
         } else {
-            gemm_blocked::<S>(&mut d.view_mut(), &col_panel.view(), &row_panel.view());
+            gemm_packed_with_b::<S>(&mut d.view_mut(), &col_panel.view(), pb);
         }
     }
 }
@@ -96,6 +118,7 @@ mod tests {
     use super::*;
     use crate::fw_seq::fw_seq;
     use apsp_graph::generators::{self, WeightKind};
+    use srgemm::gemm::gemm_blocked;
     use srgemm::semiring::{MaxMin, MinPlus};
     use srgemm::MinPlusF32;
 

@@ -162,6 +162,35 @@ pub fn host_update<S: Semiring>(
     Event { at: gpu.host_work(ready.at, dur) }
 }
 
+/// `hostUpdate` straight from a row-major staging slice — the d2h
+/// destination itself — so the tile loop accumulates into `C` with **zero
+/// intermediate copies**: the old path materialized each tile as a fresh
+/// `Matrix` (`to_vec` + `from_vec`) before accumulating, an allocation and
+/// a full extra pass over the tile per iteration.
+///
+/// # Panics
+/// Panics if `x.len() != c_tile.rows() * c_tile.cols()`.
+pub fn host_update_slice<S: Semiring>(
+    gpu: &SimGpu,
+    ready: Event,
+    c_tile: &mut ViewMut<'_, S::Elem>,
+    x: &[S::Elem],
+) -> Event {
+    let (rows, cols) = (c_tile.rows(), c_tile.cols());
+    assert_eq!(x.len(), rows * cols, "staging slice does not match tile shape");
+    for i in 0..rows {
+        let crow = c_tile.row_mut(i);
+        let xrow = &x[i * cols..(i + 1) * cols];
+        for (cv, &xv) in crow.iter_mut().zip(xrow) {
+            *cv = S::add(*cv, xv);
+        }
+    }
+    let dur = gpu
+        .spec
+        .host_update_time((rows * cols) as f64, std::mem::size_of::<S::Elem>() as f64);
+    Event { at: gpu.host_work(ready.at, dur) }
+}
+
 /// Timing-only host update.
 pub fn host_update_timed(gpu: &SimGpu, ready: Event, elems: f64, elem_bytes: f64) -> Event {
     let dur = gpu.spec.host_update_time(elems, elem_bytes);
@@ -241,6 +270,24 @@ mod tests {
         assert_eq!(out, [1.0, 2.0, 2.0, 1.0]);
         // 2*2*2*2 = 16 flops at 1e9 flop/s
         assert!(e.at > 16.0 / 1e9);
+    }
+
+    #[test]
+    fn host_update_slice_matches_view_form() {
+        let gpu = tiny();
+        let mut c1 = srgemm::Matrix::from_rows(&[&[5.0f32, 1.0], &[0.5, 9.0]]);
+        let mut c2 = c1.clone();
+        let x = srgemm::Matrix::from_rows(&[&[3.0f32, 2.0], &[4.0, 0.25]]);
+        let e1 = host_update::<MinPlusF32>(&gpu, Event { at: 1.0 }, &mut c1.view_mut(), &x.view());
+        gpu.reset_clocks();
+        let e2 = host_update_slice::<MinPlusF32>(
+            &gpu,
+            Event { at: 1.0 },
+            &mut c2.view_mut(),
+            x.as_slice(),
+        );
+        assert!(c1.eq_exact(&c2));
+        assert_eq!(e1.at, e2.at);
     }
 
     #[test]

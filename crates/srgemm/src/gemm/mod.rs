@@ -1,22 +1,31 @@
 //! Semiring GEMM kernels: `C ← C ⊕ A ⊗ B`.
 //!
-//! Three implementations share one contract:
+//! Four implementations share one contract:
 //!
 //! * [`gemm_naive`] — triple loop, the correctness oracle;
-//! * [`gemm_blocked`] — cache-tiled i-k-j kernel, the serial workhorse;
-//! * [`gemm_parallel`] — rayon over disjoint row slabs of `C`, standing in
-//!   for the GPU SRGEMM of the paper's §2.6/§4.1.
+//! * [`gemm_blocked`] — cache-tiled i-k-j kernel over strided views;
+//! * [`gemm_packed`] — BLIS-style packed operands + register-tiled
+//!   micro-kernel (see [`pack`]), the serial workhorse;
+//! * [`gemm_parallel`] — row-slab threads over the packed kernel, sharing
+//!   one packed `B` across all slabs, standing in for the GPU SRGEMM of the
+//!   paper's §2.6/§4.1.
 //!
 //! The accumulate-into-C contract matches the paper's *MinPlus outer product*
 //! (`A(i,j) ← A(i,j) ⊕ A(i,k) ⊗ A(k,j)`) and cuASR's epilogue semantics.
+//! Every kernel folds the reduction in ascending `k` per output element, so
+//! all four are bit-identical on every semiring.
 
 mod blocked;
 mod naive;
+pub mod pack;
 mod parallel;
 
 pub use blocked::{gemm_blocked, gemm_blocked_tiled, KC, MC, NC};
 pub use naive::gemm_naive;
-pub use parallel::{budget_threads, gemm_parallel, gemm_parallel_threads};
+pub use pack::{gemm_packed, gemm_packed_with_b, Isa, PackedA, PackedB};
+pub use parallel::{
+    budget_threads, gemm_parallel, gemm_parallel_threads, gemm_parallel_threads_with_b,
+};
 
 use crate::matrix::{View, ViewMut};
 use crate::semiring::Semiring;
@@ -26,9 +35,11 @@ use crate::semiring::Semiring;
 pub enum GemmAlgo {
     /// Triple-loop reference kernel.
     Naive,
-    /// Cache-blocked serial kernel.
+    /// Cache-blocked serial kernel over strided views.
     Blocked,
-    /// Rayon-parallel blocked kernel.
+    /// BLIS-style packed, register-tiled serial kernel.
+    Packed,
+    /// Row-slab parallel kernel (packed, shared `B`).
     Parallel,
 }
 
@@ -42,19 +53,21 @@ pub fn gemm_with<S: Semiring>(
     match algo {
         GemmAlgo::Naive => gemm_naive::<S>(c, a, b),
         GemmAlgo::Blocked => gemm_blocked::<S>(c, a, b),
+        GemmAlgo::Packed => gemm_packed::<S>(c, a, b),
         GemmAlgo::Parallel => gemm_parallel::<S>(c, a, b),
     }
 }
 
-/// Default kernel: the cache-blocked serial implementation. Distributed
-/// algorithms that already parallelize across ranks use this to avoid nested
-/// thread pools; single-node code calls [`gemm_parallel`] directly.
+/// Default serial kernel: the packed, register-tiled implementation.
+/// Distributed algorithms that already parallelize across ranks use this to
+/// avoid nested thread pools; single-node code calls [`gemm_parallel`]
+/// directly.
 pub fn gemm<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
     a: &View<'_, S::Elem>,
     b: &View<'_, S::Elem>,
 ) {
-    gemm_blocked::<S>(c, a, b)
+    gemm_packed::<S>(c, a, b)
 }
 
 /// Validate `C ← C ⊕ A ⊗ B` operand shapes; every kernel calls this first.

@@ -1,10 +1,17 @@
 //! Rayon-parallel semiring GEMM with an explicit thread budget.
 //!
 //! `C` is partitioned into disjoint row slabs, each slab updated by the
-//! serial blocked kernel on its own worker. Row-slab partitioning means no
+//! serial packed kernel on its own worker. Row-slab partitioning means no
 //! two workers ever touch the same element of `C`, so no synchronization is
 //! needed inside the kernel — the rayon analogue of assigning threadblocks
 //! to output tiles on the GPU.
+//!
+//! `B` is packed **once** before the slabs are spawned and shared by
+//! reference ([`PackedB`] is immutable and `Sync`): every slab multiplies
+//! against the same KC×NC-tiled copy instead of re-reading (or re-packing)
+//! `B` per slab, which is the whole-matrix form of the panel reuse the FW
+//! drivers exploit per `k`-iteration. Each worker keeps its own `A`
+//! micro-panel buffer; only the read-only `B` copy is shared.
 //!
 //! The thread budget exists because this kernel also runs *inside* the
 //! mpi-sim runtime, where every rank is already a thread: `p` ranks each
@@ -19,7 +26,7 @@
 //! slab has `base = m / nslabs ≥ MIN` rows — the old `div_ceil` scheme
 //! could strand a remainder slab of one row, paying a spawn for no work.
 
-use crate::gemm::blocked::gemm_blocked;
+use crate::gemm::pack::{gemm_packed_with_b, PackedB};
 use crate::matrix::{View, ViewMut};
 use crate::semiring::Semiring;
 
@@ -55,10 +62,27 @@ pub fn gemm_parallel_threads<S: Semiring>(
     threads: usize,
 ) {
     super::check_shapes(c, a, b);
+    let pb = PackedB::pack::<S>(b);
+    gemm_parallel_threads_with_b::<S>(c, a, &pb, threads);
+}
+
+/// Row-slab parallel GEMM against an already packed `B`: the caller packs
+/// once (e.g. per FW `k`-iteration) and every slab — and every *call* —
+/// streams the same copy. Falls back to the serial packed kernel when the
+/// slab floor leaves a single slab.
+pub fn gemm_parallel_threads_with_b<S: Semiring>(
+    c: &mut ViewMut<'_, S::Elem>,
+    a: &View<'_, S::Elem>,
+    pb: &PackedB<S::Elem>,
+    threads: usize,
+) {
+    assert_eq!(a.cols(), pb.rows(), "gemm: inner dimensions disagree");
+    assert_eq!(c.rows(), a.rows(), "gemm: C rows != A rows");
+    assert_eq!(c.cols(), pb.cols(), "gemm: C cols != B cols");
     let m = c.rows();
     let nslabs = threads.min(m / MIN_ROWS_PER_SLAB).max(1);
     if nslabs == 1 {
-        gemm_blocked::<S>(c, a, b);
+        gemm_packed_with_b::<S>(c, a, pb);
         return;
     }
 
@@ -85,7 +109,7 @@ pub fn gemm_parallel_threads<S: Semiring>(
         for (row0, mut c_slab) in jobs {
             let a_slab = a.subview(row0, 0, c_slab.rows(), a.cols());
             scope.spawn(move || {
-                gemm_blocked::<S>(&mut c_slab, &a_slab, b);
+                gemm_packed_with_b::<S>(&mut c_slab, &a_slab, pb);
             });
         }
     });

@@ -15,8 +15,9 @@
 //!   [`MaxMin`], [`BoolOr`], [`MaxPlus`], [`RealArith`]).
 //! * [`matrix`] — dense row-major [`Matrix`] plus borrowed strided
 //!   [`View`]/[`ViewMut`] blocks.
-//! * [`gemm`](mod@gemm) — `C ← C ⊕ A ⊗ B` kernels: naive, cache-blocked, and
-//!   rayon-parallel.
+//! * [`gemm`](mod@gemm) — `C ← C ⊕ A ⊗ B` kernels: naive, cache-blocked,
+//!   BLIS-style packed/register-tiled, and rayon-parallel (the parallel
+//!   kernel shares one packed `B` across all row slabs).
 //! * [`closure`] — in-place Floyd-Warshall closure of a block (the paper's
 //!   *DiagUpdate*) and the repeated-squaring Neumann-series form (Eq. 4).
 //! * [`panel`] — the paper's *PanelUpdate* kernels (left/right multiply by a
@@ -42,7 +43,7 @@ pub mod matrix;
 pub mod panel;
 pub mod semiring;
 
-pub use gemm::{gemm, gemm_blocked, gemm_naive, gemm_parallel, GemmAlgo};
+pub use gemm::{gemm, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel, GemmAlgo, PackedB};
 pub use matrix::{Matrix, View, ViewMut};
 pub use semiring::{BoolOr, MaxMin, MaxPlus, MinPlus, RealArith, Semiring};
 
@@ -54,7 +55,7 @@ pub type MinPlusF64 = MinPlus<f64>;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::closure::{fw_closure, fw_closure_squaring};
-    pub use crate::gemm::{gemm, gemm_blocked, gemm_naive, gemm_parallel};
+    pub use crate::gemm::{gemm, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel, PackedB};
     pub use crate::matrix::{Matrix, View, ViewMut};
     pub use crate::panel::{panel_update_left, panel_update_right};
     pub use crate::semiring::{BoolOr, MaxMin, MaxPlus, MinPlus, RealArith, Semiring};
