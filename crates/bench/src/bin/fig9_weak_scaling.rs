@@ -5,12 +5,20 @@
 //! Baseline and Offload grow with node count because they do not hide
 //! communication.
 
-use apsp_bench::{arg, Csv, Table};
+use apsp_bench::{arg, arg_str, execute_functional_scale, Csv, Table};
 use apsp_core::dist::Variant;
 use apsp_core::schedule::{default_node_grid, optimal_node_grid, simulate, ScheduleConfig};
 use cluster_sim::MachineSpec;
 
 fn main() {
+    // `--execute-p 1024` swaps the analytic Summit model for a *functional*
+    // run: the real pipeline on the event-driven simulator at paper-scale
+    // rank counts, NIC bytes checked against §3.4.1 (`--execute-n` sizes it)
+    if let Some(p) = arg_str("--execute-p") {
+        let p: usize = p.parse().expect("--execute-p takes a rank count");
+        execute_functional_scale(p, arg("--execute-n", 64));
+        return;
+    }
     let n16: usize = arg("--n16", 300_000);
     println!("== Fig. 9: weak scaling, n³/p constant from n = {n16} at 16 nodes ==\n");
     let table = Table::new(&[

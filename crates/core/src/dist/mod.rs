@@ -185,15 +185,24 @@ impl From<CommError> for DistError {
 impl std::error::Error for DistError {}
 
 /// Runtime knobs for the convenience drivers ([`distributed_apsp_opts`] and
-/// friends): the deadlock-detection deadline and an optional deterministic
-/// fault-injection plan.
+/// friends): the deadlock-detection deadline, an optional deterministic
+/// fault-injection plan, and the executor's worker-pool / stack sizing for
+/// paper-scale rank counts.
 #[derive(Clone, Debug, Default)]
 pub struct DistRunOpts {
     /// Override the receive timeout used for deadlock detection
-    /// (`None` → the runtime's 30 s default). CI-scale runs shorten this.
+    /// (`None` → the runtime's 30 s default). Large-`p` simulations on few
+    /// cores should *lengthen* this: ranks spend most of their wall-clock
+    /// parked waiting for a worker slot, not deadlocked.
     pub recv_timeout: Option<Duration>,
     /// Deterministic fault-injection plan (empty = no faults).
     pub faults: FaultPlan,
+    /// Bound on concurrently-executing rank tasks
+    /// ([`mpi_sim::Runtime::with_workers`]; `None` → host parallelism).
+    pub workers: Option<usize>,
+    /// Per-rank stack size in bytes ([`mpi_sim::Runtime::with_stack_size`];
+    /// `None` → platform default). 1024-rank smokes shrink this.
+    pub stack_bytes: Option<usize>,
 }
 
 /// Collapse a failed SPMD run into the single error the caller reports:
@@ -554,6 +563,12 @@ fn build_runtime(p: usize, placement: Option<Placement>, opts: &DistRunOpts) -> 
     }
     if !opts.faults.is_empty() {
         rt = rt.with_faults(opts.faults.clone());
+    }
+    if let Some(w) = opts.workers {
+        rt = rt.with_workers(w);
+    }
+    if let Some(bytes) = opts.stack_bytes {
+        rt = rt.with_stack_size(bytes);
     }
     rt
 }

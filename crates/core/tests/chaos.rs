@@ -44,7 +44,11 @@ proptest! {
         let recv_timeout = Duration::from_millis(300);
 
         // fault-free through the same options plumbing: exact answer
-        let clean = DistRunOpts { recv_timeout: Some(recv_timeout * 10), faults: FaultPlan::none() };
+        let clean = DistRunOpts {
+            recv_timeout: Some(recv_timeout * 10),
+            faults: FaultPlan::none(),
+            ..Default::default()
+        };
         let (got, _) = distributed_apsp_opts::<MinPlusF32>(pr, pc, &cfg, &input, None, &clean)
             .expect("fault-free run");
         prop_assert!(want.eq_exact(&got));
@@ -57,6 +61,7 @@ proptest! {
         let opts = DistRunOpts {
             recv_timeout: Some(recv_timeout),
             faults: FaultPlan::random_single(fault_seed, pr * pc),
+            ..Default::default()
         };
         let t0 = Instant::now();
         let out = distributed_apsp_opts::<MinPlusF32>(pr, pc, &cfg, &input, None, &opts);

@@ -3,14 +3,15 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::counters::Counters;
 use crate::error::{CommError, DeadlockReport};
+use crate::exec::{Scheduler, Wake};
 use crate::fault::{FaultState, SendFate};
-use crate::p2p::{Mailbox, RecvError};
+use crate::p2p::{Mailbox, Polled};
 use crate::payload::Payload;
 use crate::placement::Placement;
 use crate::trace::{self, MsgEvent, Span, TraceState};
@@ -26,8 +27,10 @@ pub(crate) struct Shared {
     pub(crate) recv_timeout: Duration,
     pub(crate) trace: Option<Arc<TraceState>>,
     pub(crate) faults: Option<FaultState>,
+    /// The cooperative rank scheduler: parks blocked tasks, multiplexes the
+    /// worker slots, owns the deadline wheel (see [`crate::exec`]).
+    pub(crate) sched: Scheduler,
     splits: Mutex<SplitState>,
-    splits_cv: Condvar,
     ctx_alloc: Mutex<CtxAlloc>,
 }
 
@@ -41,7 +44,7 @@ struct CtxAlloc {
 struct SplitState {
     slots: HashMap<(u64, u64), SplitSlot>,
     /// World rank of the first failed rank, once the runtime poisons us —
-    /// wakes ranks blocked waiting for peers to reach a `split`.
+    /// observed by ranks blocked waiting for peers to reach a `split`.
     poisoned: Option<usize>,
 }
 
@@ -54,6 +57,7 @@ struct SplitSlot {
 impl Shared {
     pub(crate) fn new(
         p: usize,
+        workers: usize,
         placement: Placement,
         recv_timeout: Duration,
         trace: Option<Arc<TraceState>>,
@@ -67,8 +71,8 @@ impl Shared {
             recv_timeout,
             trace,
             faults,
+            sched: Scheduler::new(p, workers),
             splits: Mutex::new(SplitState::default()),
-            splits_cv: Condvar::new(),
             ctx_alloc: Mutex::new(CtxAlloc { next: 1, by_origin: HashMap::new() }),
         }
     }
@@ -87,9 +91,9 @@ impl Shared {
     }
 
     /// Fail-fast fan-out after world rank `rank` failed: poison every
-    /// mailbox and the split table, waking every blocked rank immediately
-    /// with [`CommError::PeerFailed`] instead of letting them burn the full
-    /// receive timeout. The first failure wins attribution.
+    /// mailbox and the split table, then wake every parked task so blocked
+    /// ranks observe [`CommError::PeerFailed`] immediately instead of
+    /// burning the full receive timeout. The first failure wins attribution.
     pub(crate) fn poison(&self, rank: usize) {
         for mb in &self.mailboxes {
             mb.poison(rank);
@@ -99,11 +103,11 @@ impl Shared {
             splits.poisoned = Some(rank);
         }
         drop(splits);
-        self.splits_cv.notify_all();
+        self.sched.wake_all();
     }
 }
 
-/// A communicator handle owned by one rank's thread.
+/// A communicator handle owned by one rank's task.
 ///
 /// `rank`/`size` are relative to this communicator; `members` maps
 /// communicator ranks to world ranks. All collectives and `split` must be
@@ -202,15 +206,20 @@ impl Comm {
         let key = (self.ctx, self.rank, tag);
         match fate {
             SendFate::Deliver => {
-                self.shared.mailboxes[dst_world].deliver(key, bytes, Box::new(msg));
+                self.shared.mailboxes[dst_world].deliver(key, Box::new(msg));
+                self.shared.sched.wake(dst_world);
             }
             SendFate::Drop => {}
             SendFate::Delay(by) => {
-                let shared = self.shared.clone();
-                std::thread::spawn(move || {
-                    std::thread::sleep(by);
-                    shared.mailboxes[dst_world].deliver(key, bytes, Box::new(msg));
-                });
+                // delayed delivery rides the scheduler's deadline wheel and
+                // is executed by the runtime-scoped timekeeper — no helper
+                // thread that could outlive the runtime or dodge poisoning
+                self.shared.sched.schedule_delivery(
+                    Instant::now() + by,
+                    dst_world,
+                    key,
+                    Box::new(msg),
+                );
             }
             SendFate::Kill => unreachable!("kill returns above"),
         }
@@ -218,6 +227,10 @@ impl Comm {
     }
 
     /// Blocking tagged receive from communicator rank `src`.
+    ///
+    /// Blocking means *parking*: a pending receive releases this rank's
+    /// worker slot to another runnable rank and is re-enqueued by message
+    /// delivery, poisoning, or its deadline on the scheduler wheel.
     ///
     /// Fails with [`CommError::RecvTimeout`] (structured deadlock report)
     /// when the message never arrives, [`CommError::PeerFailed`] when the
@@ -230,11 +243,28 @@ impl Comm {
 
     pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         let my_world = self.members[self.rank];
-        match self.shared.mailboxes[my_world].recv::<T>((self.ctx, src, tag), self.shared.recv_timeout)
-        {
-            Ok((value, _)) => Ok(value),
-            Err(RecvError::Timeout(timeout)) => {
-                Err(CommError::RecvTimeout(Box::new(DeadlockReport {
+        let mb = &self.shared.mailboxes[my_world];
+        let key = (self.ctx, src, tag);
+        let deadline = Instant::now() + self.shared.recv_timeout;
+        let mut timed_out = false;
+        loop {
+            match mb.poll::<T>(key) {
+                Polled::Ready(value) => return Ok(value),
+                Polled::Poisoned { rank } => return Err(CommError::PeerFailed { rank }),
+                Polled::TypeMismatch { expected } => {
+                    return Err(CommError::PayloadTypeMismatch {
+                        ctx: self.ctx,
+                        src,
+                        tag: tag & !INTERNAL_TAG,
+                        expected,
+                    })
+                }
+                Polled::Pending => {}
+            }
+            if timed_out {
+                // final poll above already ran (a delivery can race the
+                // deadline); nothing matched, so report the deadlock
+                return Err(CommError::RecvTimeout(Box::new(DeadlockReport {
                     timeout: self.shared.recv_timeout,
                     rank: self.rank,
                     world_rank: my_world,
@@ -243,17 +273,34 @@ impl Comm {
                     ctx: self.ctx,
                     tag: tag & !INTERNAL_TAG,
                     phase: trace::current_phase(),
-                    pending: timeout.pending,
-                })))
+                    pending: mb.pending_keys(),
+                })));
             }
-            Err(RecvError::PeerFailed { rank }) => Err(CommError::PeerFailed { rank }),
-            Err(RecvError::TypeMismatch { expected }) => Err(CommError::PayloadTypeMismatch {
-                ctx: self.ctx,
-                src,
-                tag: tag & !INTERNAL_TAG,
-                expected,
-            }),
+            timed_out = self.shared.sched.park(my_world, Some(deadline)) == Wake::TimedOut;
         }
+    }
+
+    /// Combined buffered send + blocking receive — the safe way to do a
+    /// pairwise exchange. Because sends are buffered, two ranks calling
+    /// `sendrecv` at each other cannot deadlock, and both halves run on this
+    /// rank's own scheduled task: a panic anywhere in the exchange is caught
+    /// by the runtime and surfaces as a typed `RankFailure` (earlier
+    /// revisions used raw helper threads here, which escaped the runtime's
+    /// failure accounting entirely).
+    pub fn sendrecv<S: Payload, R: Payload>(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        msg: S,
+        src: usize,
+        recv_tag: u64,
+    ) -> Result<R, CommError> {
+        assert!(
+            send_tag & INTERNAL_TAG == 0 && recv_tag & INTERNAL_TAG == 0,
+            "user tags must not set the top bit"
+        );
+        self.send_raw(dst, send_tag, msg)?;
+        self.recv_raw(src, recv_tag)
     }
 
     /// Open a named trace phase on this rank; the returned guard closes it.
@@ -278,6 +325,14 @@ impl Comm {
         self.shared.mailboxes[my_world].probe((self.ctx, src, tag))
     }
 
+    /// Cooperatively hand this rank's worker slot to the next runnable rank,
+    /// if any is waiting. Call this inside [`Comm::probe`] polling loops so
+    /// they make progress even when the worker pool is smaller than the
+    /// rank count; a no-op when no other rank is waiting for a slot.
+    pub fn yield_now(&self) {
+        self.shared.sched.yield_now(self.members[self.rank]);
+    }
+
     /// Collective: partition members by `color`; within a color, ranks are
     /// ordered by `(key, parent rank)`. Returns this rank's sub-communicator.
     ///
@@ -289,39 +344,46 @@ impl Comm {
         let slot_key = (self.ctx, op);
         let world = self.members[self.rank];
         let parent_size = self.size();
-        {
+        let deadline = Instant::now() + self.shared.recv_timeout;
+        let complete = {
             let mut splits = self.shared.splits.lock();
             if let Some(rank) = splits.poisoned {
                 return Err(CommError::PeerFailed { rank });
             }
             let slot = splits.slots.entry(slot_key).or_default();
             slot.entries.push((color, key, world, self.rank));
-            if slot.entries.len() == parent_size {
-                self.shared.splits_cv.notify_all();
-            } else {
-                loop {
-                    if splits.slots.get(&slot_key).map(|s| s.entries.len()) == Some(parent_size) {
-                        break;
-                    }
-                    if let Some(rank) = splits.poisoned {
-                        return Err(CommError::PeerFailed { rank });
-                    }
-                    if self
-                        .shared
-                        .splits_cv
-                        .wait_for(&mut splits, self.shared.recv_timeout)
-                        .timed_out()
-                    {
-                        let arrived =
-                            splits.slots.get(&slot_key).map_or(0, |s| s.entries.len());
-                        return Err(CommError::SplitTimeout {
-                            ctx: self.ctx,
-                            op,
-                            arrived,
-                            expected: parent_size,
-                        });
-                    }
+            slot.entries.len() == parent_size
+        };
+        if complete {
+            // last arriver: every other member has already registered, so
+            // wake them all (parked members re-poll; members still running
+            // absorb the wake via their notified flag)
+            for &m in self.members.iter() {
+                if m != world {
+                    self.shared.sched.wake(m);
                 }
+            }
+        } else {
+            let mut timed_out = false;
+            loop {
+                let splits = self.shared.splits.lock();
+                if splits.slots.get(&slot_key).map(|s| s.entries.len()) == Some(parent_size) {
+                    break;
+                }
+                if let Some(rank) = splits.poisoned {
+                    return Err(CommError::PeerFailed { rank });
+                }
+                if timed_out {
+                    let arrived = splits.slots.get(&slot_key).map_or(0, |s| s.entries.len());
+                    return Err(CommError::SplitTimeout {
+                        ctx: self.ctx,
+                        op,
+                        arrived,
+                        expected: parent_size,
+                    });
+                }
+                drop(splits);
+                timed_out = self.shared.sched.park(world, Some(deadline)) == Wake::TimedOut;
             }
         }
         // read phase: slot complete; compute my sub-communicator
@@ -400,6 +462,41 @@ mod tests {
             }
         });
         assert_eq!(out[1], 1020);
+    }
+
+    #[test]
+    fn sendrecv_pairwise_exchange_cannot_deadlock() {
+        // every rank sendrecvs with its ring neighbours simultaneously —
+        // the classic pattern that deadlocks with unbuffered sends
+        let p = 6;
+        let out = Runtime::new(p).run(move |comm| {
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let got: u64 = comm.sendrecv(right, 7, comm.rank() as u64, left, 7).unwrap();
+            got
+        });
+        for (r, &got) in out.iter().enumerate() {
+            assert_eq!(got as usize, (r + p - 1) % p, "rank {r} got its left neighbour's value");
+        }
+    }
+
+    #[test]
+    fn yield_now_lets_probe_loops_progress_on_a_tiny_pool() {
+        // rank 1 spins on probe() while rank 0 still needs a worker slot to
+        // send — with a 1-slot pool this only terminates because the probe
+        // loop yields its slot cooperatively
+        let out = Runtime::new(2).with_workers(1).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, 41u64).unwrap();
+                0
+            } else {
+                while !comm.probe(0, 9) {
+                    comm.yield_now();
+                }
+                comm.recv::<u64>(0, 9).unwrap() + 1
+            }
+        });
+        assert_eq!(out[1], 42);
     }
 
     #[test]

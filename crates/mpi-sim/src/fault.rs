@@ -3,17 +3,19 @@
 //! A [`FaultPlan`] is a small script of failures evaluated against the
 //! per-rank send streams: kill a rank just before one of its sends, or drop
 //! or delay one specific message. Because each rank's sends happen in
-//! program order on its own thread, selecting a fault by *(source rank,
-//! send index)* is fully deterministic — the same plan produces the same
-//! failure on every run, which is what lets the chaos property tests assert
-//! exact typed outcomes.
+//! program order on its own scheduled task, selecting a fault by *(source
+//! rank, send index)* is fully deterministic — the same plan produces the
+//! same failure on every run, which is what lets the chaos property tests
+//! assert exact typed outcomes.
 //!
 //! Plans attach to a runtime via [`crate::Runtime::with_faults`] and act
 //! inside `Comm::send`: a killed rank's send returns
 //! [`crate::CommError::Killed`], a dropped message is charged to the
 //! traffic counters but never delivered (the receiver sees a typed
-//! [`crate::CommError::RecvTimeout`]), and a delayed message is delivered
-//! by a helper thread after the configured delay.
+//! [`crate::CommError::RecvTimeout`]), and a delayed message rides the
+//! scheduler's deadline wheel — the runtime-scoped timekeeper delivers it
+//! after the configured delay (and cancels it if the run ends first), so no
+//! delivery can outlive the runtime or bypass poisoning.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;

@@ -1,12 +1,16 @@
 #![warn(missing_docs)]
 
-//! # mpi-sim — a thread-backed message-passing runtime
+//! # mpi-sim — an event-driven message-passing runtime
 //!
 //! Stand-in for MPI (the paper runs IBM Spectrum MPI on Summit): every rank
-//! is an OS thread, point-to-point messages are tag-matched through per-rank
+//! is a cooperatively-scheduled task multiplexed over a bounded worker pool
+//! (see [`exec`]), point-to-point messages are tag-matched through per-rank
 //! mailboxes, and collectives (binomial-tree broadcast, **pipelined ring
 //! broadcast**, barriers, gathers) are built on top of p2p exactly as MPI
-//! implementations build theirs.
+//! implementations build theirs. A rank that blocks parks its task and
+//! yields its worker slot, so one development box can simulate the paper's
+//! 1024+ rank configurations — concurrency is bounded by the pool size
+//! ([`Runtime::with_workers`]), not by the rank count.
 //!
 //! Two features matter for reproducing the paper:
 //!
@@ -44,6 +48,7 @@ pub mod collectives;
 pub mod comm;
 pub mod counters;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod grid;
 pub mod p2p;
@@ -55,6 +60,7 @@ pub mod trace;
 pub use comm::{Comm, PhaseGuard};
 pub use counters::{PhaseTraffic, TrafficReport};
 pub use error::{CommError, DeadlockReport};
+pub use exec::ExecStats;
 pub use fault::{FaultAction, FaultPlan};
 pub use grid::ProcessGrid;
 pub use p2p::MatchKey;

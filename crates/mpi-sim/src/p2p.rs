@@ -1,49 +1,25 @@
 //! Tag-matched point-to-point mailboxes.
 //!
 //! Sends are buffered (never block), like MPI eager-protocol sends of the
-//! message sizes the FW algorithms use between pipeline stages. Receives
-//! block until a message with the requested `(context, source, tag)` key is
-//! present, with a configurable timeout that converts distributed deadlocks
-//! into typed errors instead of hangs — and a *poison* path that wakes every
-//! blocked receiver immediately when some rank fails, so one failure never
-//! costs the rest of the job a full timeout.
+//! message sizes the FW algorithms use between pipeline stages. The mailbox
+//! itself is **poll-based**: `Mailbox::poll` answers instantly with
+//! `Polled::Ready` or `Polled::Pending`, and the *scheduler* — not a
+//! per-mailbox condvar — decides what a pending receiver does next (park its
+//! task and yield its worker slot; see [`crate::exec`]). Deadlock timeouts
+//! therefore live on the scheduler's deadline wheel, and the *poison* path
+//! marks the mailbox so every parked receiver that gets woken by the fail-fast
+//! fan-out observes the peer failure immediately instead of burning its full
+//! receive timeout.
 
 use std::any::Any;
-use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 /// Matching key: (communicator context, source rank in that communicator, tag).
 pub type MatchKey = (u64, usize, u64);
 
-/// A receive gave up waiting (suspected distributed deadlock). Carries the
-/// keys still queued in the mailbox so the caller's report can show what
-/// *did* arrive while the expected message never did.
-#[derive(Clone, Debug)]
-pub(crate) struct RecvTimeout {
-    /// Match keys of every message pending in the mailbox at timeout.
-    pub(crate) pending: Vec<MatchKey>,
-}
-
-/// Why a mailbox receive failed. [`crate::Comm::recv`] converts these into
-/// the public [`crate::CommError`] variants, adding the rank/phase context
-/// this layer cannot know.
-#[derive(Clone, Debug)]
-pub(crate) enum RecvError {
-    /// Timed out with no matching message (suspected deadlock).
-    Timeout(RecvTimeout),
-    /// The runtime poisoned this mailbox because `rank` (world) failed.
-    PeerFailed { rank: usize },
-    /// A matching message arrived but its payload was not a `T`.
-    TypeMismatch {
-        /// `std::any::type_name` of the expected payload type.
-        expected: &'static str,
-    },
-}
-
 struct Envelope {
     key: MatchKey,
-    bytes: usize,
     payload: Box<dyn Any + Send>,
 }
 
@@ -54,11 +30,30 @@ struct QueueState {
     poisoned: Option<usize>,
 }
 
+/// Outcome of one non-blocking [`Mailbox::poll`].
+#[derive(Debug)]
+pub(crate) enum Polled<T> {
+    /// A matching message was dequeued.
+    Ready(T),
+    /// Nothing matching is queued (and the mailbox is healthy) — the caller
+    /// should park and re-poll when woken.
+    Pending,
+    /// The runtime poisoned this mailbox because `rank` (world) failed.
+    Poisoned {
+        rank: usize,
+    },
+    /// A matching message arrived but its payload was not a `T` — a program
+    /// bug, not a deadlock. The mismatched message is consumed.
+    TypeMismatch {
+        /// `std::any::type_name` of the expected payload type.
+        expected: &'static str,
+    },
+}
+
 /// One rank's incoming-message queue.
 #[derive(Default)]
 pub(crate) struct Mailbox {
     state: Mutex<QueueState>,
-    cv: Condvar,
 }
 
 impl Mailbox {
@@ -66,57 +61,49 @@ impl Mailbox {
         Self::default()
     }
 
-    /// Deposit a message (called by the *sender's* thread).
-    pub(crate) fn deliver(&self, key: MatchKey, bytes: usize, payload: Box<dyn Any + Send>) {
+    /// Deposit a message (called by the *sender's* task, or by the runtime's
+    /// timekeeper for fault-delayed deliveries). The caller is responsible
+    /// for waking the destination task afterwards — the mailbox holds no
+    /// thread handles.
+    pub(crate) fn deliver(&self, key: MatchKey, payload: Box<dyn Any + Send>) {
         let mut q = self.state.lock();
-        q.queue.push(Envelope { key, bytes, payload });
-        self.cv.notify_all();
+        q.queue.push(Envelope { key, payload });
     }
 
-    /// Mark the mailbox as poisoned by the failure of world rank `rank` and
-    /// wake every blocked receiver. The first poisoner wins (first-failure
-    /// attribution); queued messages still drain before the poison is
-    /// observed, so ranks that already have their data can finish.
+    /// Mark the mailbox as poisoned by the failure of world rank `rank`.
+    /// The first poisoner wins (first-failure attribution); queued messages
+    /// still drain before the poison is observed, so ranks that already have
+    /// their data can finish. The runtime wakes all parked tasks separately.
     pub(crate) fn poison(&self, rank: usize) {
         let mut q = self.state.lock();
         if q.poisoned.is_none() {
             q.poisoned = Some(rank);
         }
-        self.cv.notify_all();
     }
 
-    /// Blocking receive of the first message matching `key`. Matching
-    /// queued messages are always drained first; otherwise a poisoned
-    /// mailbox fails immediately with [`RecvError::PeerFailed`], and an
-    /// expired `timeout` yields [`RecvError::Timeout`] (suspected
-    /// deadlock). A payload of the wrong type is
-    /// [`RecvError::TypeMismatch`] — a program bug, not a deadlock.
-    pub(crate) fn recv<T: Send + 'static>(
-        &self,
-        key: MatchKey,
-        timeout: Duration,
-    ) -> Result<(T, usize), RecvError> {
+    /// Non-blocking receive attempt for the first message matching `key`.
+    /// Matching queued messages are always drained first ([`Polled::Ready`]);
+    /// otherwise a poisoned mailbox answers [`Polled::Poisoned`]; otherwise
+    /// [`Polled::Pending`] and the caller parks on the scheduler.
+    pub(crate) fn poll<T: Send + 'static>(&self, key: MatchKey) -> Polled<T> {
         let mut q = self.state.lock();
-        loop {
-            if let Some(pos) = q.queue.iter().position(|e| e.key == key) {
-                let env = q.queue.remove(pos);
-                let bytes = env.bytes;
-                return match env.payload.downcast::<T>() {
-                    Ok(payload) => Ok((*payload, bytes)),
-                    Err(_) => {
-                        Err(RecvError::TypeMismatch { expected: std::any::type_name::<T>() })
-                    }
-                };
-            }
-            if let Some(rank) = q.poisoned {
-                return Err(RecvError::PeerFailed { rank });
-            }
-            if self.cv.wait_for(&mut q, timeout).timed_out() {
-                return Err(RecvError::Timeout(RecvTimeout {
-                    pending: q.queue.iter().map(|e| e.key).collect(),
-                }));
-            }
+        if let Some(pos) = q.queue.iter().position(|e| e.key == key) {
+            let env = q.queue.remove(pos);
+            return match env.payload.downcast::<T>() {
+                Ok(payload) => Polled::Ready(*payload),
+                Err(_) => Polled::TypeMismatch { expected: std::any::type_name::<T>() },
+            };
         }
+        if let Some(rank) = q.poisoned {
+            return Polled::Poisoned { rank };
+        }
+        Polled::Pending
+    }
+
+    /// Match keys of every queued message — the deadlock report's "what did
+    /// arrive while the expected message never did" listing.
+    pub(crate) fn pending_keys(&self) -> Vec<MatchKey> {
+        self.state.lock().queue.iter().map(|e| e.key).collect()
     }
 
     /// Non-blocking probe: is a matching message queued?
@@ -128,93 +115,81 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+
+    fn ready<T: Send + 'static + std::fmt::Debug>(mb: &Mailbox, key: MatchKey) -> T {
+        match mb.poll::<T>(key) {
+            Polled::Ready(v) => v,
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
 
     #[test]
     fn delivers_in_fifo_order_per_key() {
         let mb = Mailbox::new();
         let key = (0, 1, 7);
-        mb.deliver(key, 4, Box::new(10u32));
-        mb.deliver(key, 4, Box::new(20u32));
-        let (a, _) = mb.recv::<u32>(key, Duration::from_secs(1)).unwrap();
-        let (b, _) = mb.recv::<u32>(key, Duration::from_secs(1)).unwrap();
+        mb.deliver(key, Box::new(10u32));
+        mb.deliver(key, Box::new(20u32));
+        let a = ready::<u32>(&mb, key);
+        let b = ready::<u32>(&mb, key);
         assert_eq!((a, b), (10, 20));
     }
 
     #[test]
     fn matches_only_requested_key() {
         let mb = Mailbox::new();
-        mb.deliver((0, 2, 1), 4, Box::new(99u32));
-        mb.deliver((0, 1, 1), 4, Box::new(42u32));
-        let (got, _) = mb.recv::<u32>((0, 1, 1), Duration::from_secs(1)).unwrap();
+        mb.deliver((0, 2, 1), Box::new(99u32));
+        mb.deliver((0, 1, 1), Box::new(42u32));
+        let got = ready::<u32>(&mb, (0, 1, 1));
         assert_eq!(got, 42);
         assert!(mb.probe((0, 2, 1)));
     }
 
     #[test]
-    fn recv_blocks_until_delivery() {
-        let mb = Arc::new(Mailbox::new());
-        let mb2 = mb.clone();
-        let t = std::thread::spawn(move || {
-            mb2.recv::<u64>((1, 0, 0), Duration::from_secs(5)).unwrap().0
-        });
-        std::thread::sleep(Duration::from_millis(20));
-        mb.deliver((1, 0, 0), 8, Box::new(7u64));
-        assert_eq!(t.join().unwrap(), 7);
+    fn poll_is_pending_until_delivery() {
+        let mb = Mailbox::new();
+        assert!(matches!(mb.poll::<u64>((1, 0, 0)), Polled::Pending));
+        mb.deliver((1, 0, 0), Box::new(7u64));
+        let got = ready::<u64>(&mb, (1, 0, 0));
+        assert_eq!(got, 7);
     }
 
     #[test]
-    fn recv_times_out_on_deadlock() {
+    fn pending_keys_name_what_did_arrive() {
         let mb = Mailbox::new();
-        mb.deliver((0, 3, 9), 4, Box::new(1u32)); // unrelated message
-        let err = mb
-            .recv::<u32>((0, 0, 0), Duration::from_millis(10))
-            .expect_err("nothing matching ever arrives");
-        match err {
-            RecvError::Timeout(t) => assert_eq!(t.pending, vec![(0, 3, 9)]),
-            other => panic!("expected timeout, got {other:?}"),
-        }
+        mb.deliver((0, 3, 9), Box::new(1u32)); // unrelated message
+        assert!(matches!(mb.poll::<u32>((0, 0, 0)), Polled::Pending));
+        assert_eq!(mb.pending_keys(), vec![(0, 3, 9)]);
     }
 
     #[test]
     fn type_mismatch_is_a_typed_error() {
         let mb = Mailbox::new();
-        mb.deliver((0, 0, 0), 4, Box::new(1u32));
-        let err = mb.recv::<f32>((0, 0, 0), Duration::from_secs(1)).unwrap_err();
-        match err {
-            RecvError::TypeMismatch { expected } => assert_eq!(expected, "f32"),
+        mb.deliver((0, 0, 0), Box::new(1u32));
+        match mb.poll::<f32>((0, 0, 0)) {
+            Polled::TypeMismatch { expected } => assert_eq!(expected, "f32"),
             other => panic!("expected type mismatch, got {other:?}"),
         }
     }
 
     #[test]
-    fn poison_wakes_a_blocked_receiver_immediately() {
-        let mb = Arc::new(Mailbox::new());
-        let mb2 = mb.clone();
-        let t = std::thread::spawn(move || {
-            let start = std::time::Instant::now();
-            let err = mb2.recv::<u64>((0, 0, 0), Duration::from_secs(30)).unwrap_err();
-            (err, start.elapsed())
-        });
-        std::thread::sleep(Duration::from_millis(20));
+    fn poison_is_observed_by_the_next_poll() {
+        let mb = Mailbox::new();
+        assert!(matches!(mb.poll::<u64>((0, 0, 0)), Polled::Pending));
         mb.poison(5);
-        let (err, waited) = t.join().unwrap();
-        match err {
-            RecvError::PeerFailed { rank } => assert_eq!(rank, 5),
+        match mb.poll::<u64>((0, 0, 0)) {
+            Polled::Poisoned { rank } => assert_eq!(rank, 5),
             other => panic!("expected peer failure, got {other:?}"),
         }
-        assert!(waited < Duration::from_secs(5), "woke in {waited:?}, not at the timeout");
     }
 
     #[test]
     fn queued_messages_drain_before_poison_is_seen() {
         let mb = Mailbox::new();
-        mb.deliver((0, 0, 0), 4, Box::new(11u32));
+        mb.deliver((0, 0, 0), Box::new(11u32));
         mb.poison(2);
-        let (got, _) = mb.recv::<u32>((0, 0, 0), Duration::from_secs(1)).unwrap();
+        let got = ready::<u32>(&mb, (0, 0, 0));
         assert_eq!(got, 11);
-        let err = mb.recv::<u32>((0, 0, 0), Duration::from_secs(1)).unwrap_err();
-        assert!(matches!(err, RecvError::PeerFailed { rank: 2 }));
+        assert!(matches!(mb.poll::<u32>((0, 0, 0)), Polled::Poisoned { rank: 2 }));
     }
 
     #[test]
@@ -222,7 +197,6 @@ mod tests {
         let mb = Mailbox::new();
         mb.poison(1);
         mb.poison(3);
-        let err = mb.recv::<u32>((0, 0, 0), Duration::from_secs(1)).unwrap_err();
-        assert!(matches!(err, RecvError::PeerFailed { rank: 1 }));
+        assert!(matches!(mb.poll::<u32>((0, 0, 0)), Polled::Poisoned { rank: 1 }));
     }
 }

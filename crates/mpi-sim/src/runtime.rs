@@ -1,4 +1,15 @@
-//! Runtime: spawn a thread per rank and run an SPMD closure.
+//! Runtime: run an SPMD closure with one cooperatively-scheduled task per
+//! rank, multiplexed over a bounded worker pool (see [`crate::exec`]).
+//!
+//! Each rank task owns a dedicated call stack, but only `workers` tasks
+//! *execute* at any instant: a rank that blocks in `recv`/`split` or a
+//! collective parks its task and hands its worker slot to the next runnable
+//! rank, and message delivery re-enqueues the waiter. That is what lets one
+//! development box simulate 1024+ ranks — concurrency is bounded by the
+//! pool, not by `p`. Receive timeouts are deadlines on the scheduler's
+//! timer wheel, serviced by a single runtime-scoped timekeeper thread that
+//! also performs fault-delayed deliveries (no fire-and-forget helper
+//! threads anywhere in the stack).
 //!
 //! Failure is a first-class outcome: the `try_run*` entry points return a
 //! typed [`RunError`] with per-rank failures in the order they happened
@@ -19,6 +30,7 @@ use parking_lot::Mutex;
 use crate::comm::{Comm, Shared};
 use crate::counters::TrafficReport;
 use crate::error::CommError;
+use crate::exec::ExecStats;
 use crate::fault::{FaultPlan, FaultState};
 use crate::placement::Placement;
 use crate::trace::{RunTrace, TraceState};
@@ -101,18 +113,26 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-/// Configures and launches an SPMD job. Each rank runs the user closure on
-/// its own OS thread with a [`Comm`] world communicator.
+/// Everything one run produces; the public `run*`/`try_run*` wrappers each
+/// expose the slice of this tuple they promise.
+type RunOutcome<R, E> = (Result<Vec<R>, RunError<E>>, TrafficReport, Option<RunTrace>, ExecStats);
+
+/// Configures and launches an SPMD job. Each rank runs the user closure as
+/// a cooperatively-scheduled task with a [`Comm`] world communicator;
+/// [`Runtime::with_workers`] bounds how many execute concurrently.
 pub struct Runtime {
     p: usize,
     placement: Placement,
     recv_timeout: Duration,
     faults: FaultPlan,
+    workers: Option<usize>,
+    stack_bytes: Option<usize>,
 }
 
 impl Runtime {
     /// A runtime with `p` ranks, one rank per node (every message is
-    /// inter-node), and a 30 s deadlock-detection timeout.
+    /// inter-node), a 30 s deadlock-detection timeout, and a worker pool
+    /// sized to the host's available parallelism (capped at `p`).
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "need at least one rank");
         Runtime {
@@ -120,6 +140,8 @@ impl Runtime {
             placement: Placement::one_rank_per_node(p),
             recv_timeout: Duration::from_secs(30),
             faults: FaultPlan::none(),
+            workers: None,
+            stack_bytes: None,
         }
     }
 
@@ -145,6 +167,37 @@ impl Runtime {
         self
     }
 
+    /// Bound the worker pool: at most `workers` rank tasks execute
+    /// concurrently, regardless of `p`. The default is the host's available
+    /// parallelism capped at `p`. Any `workers >= 1` is deadlock-free —
+    /// blocked ranks park and release their slot.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "the worker pool needs at least one slot");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Override the per-rank stack size in bytes (default: the platform
+    /// thread default, ≈2 MiB of lazily-committed address space). Large-`p`
+    /// smoke tests with shallow closures can shrink this substantially.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_bytes = Some(bytes);
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(self.p)
+                .max(1)
+        })
+    }
+
     /// Run the SPMD closure; returns per-rank results in rank order.
     ///
     /// # Panics
@@ -159,7 +212,7 @@ impl Runtime {
         &self,
         f: impl Fn(Comm) -> R + Send + Sync,
     ) -> (Vec<R>, TrafficReport) {
-        let (out, traffic, _) =
+        let (out, traffic, _, _) =
             self.try_run_inner(move |comm| Ok::<R, CommError>(f(comm)), None);
         match out {
             Ok(v) => (v, traffic),
@@ -176,7 +229,7 @@ impl Runtime {
         f: impl Fn(Comm) -> R + Send + Sync,
     ) -> (Vec<R>, TrafficReport, RunTrace) {
         let state = Arc::new(TraceState::new(self.p));
-        let (out, traffic, trace) =
+        let (out, traffic, trace, _) =
             self.try_run_inner(move |comm| Ok::<R, CommError>(f(comm)), Some(state));
         match out {
             Ok(v) => (v, traffic, trace.expect("trace state was attached")),
@@ -202,8 +255,20 @@ impl Runtime {
         &self,
         f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
     ) -> (Result<Vec<R>, RunError<E>>, TrafficReport) {
-        let (out, traffic, _) = self.try_run_inner(f, None);
+        let (out, traffic, _, _) = self.try_run_inner(f, None);
         (out, traffic)
+    }
+
+    /// Like [`Runtime::try_run_traced`] but additionally returns the
+    /// executor's scheduling counters ([`ExecStats`]) — in particular
+    /// `peak_running`, which the scale suite asserts never exceeds the
+    /// worker-pool size.
+    pub fn try_run_with_stats<R: Send, E: Send>(
+        &self,
+        f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
+    ) -> (Result<Vec<R>, RunError<E>>, TrafficReport, ExecStats) {
+        let (out, traffic, _, stats) = self.try_run_inner(f, None);
+        (out, traffic, stats)
     }
 
     /// Like [`Runtime::try_run_traced`] but additionally records a full
@@ -214,7 +279,7 @@ impl Runtime {
         f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
     ) -> (Result<Vec<R>, RunError<E>>, TrafficReport, RunTrace) {
         let state = Arc::new(TraceState::new(self.p));
-        let (out, traffic, trace) = self.try_run_inner(f, Some(state));
+        let (out, traffic, trace, _) = self.try_run_inner(f, Some(state));
         (out, traffic, trace.expect("trace state was attached"))
     }
 
@@ -222,11 +287,12 @@ impl Runtime {
         &self,
         f: impl Fn(Comm) -> Result<R, E> + Send + Sync,
         trace: Option<Arc<TraceState>>,
-    ) -> (Result<Vec<R>, RunError<E>>, TrafficReport, Option<RunTrace>) {
+    ) -> RunOutcome<R, E> {
         let faults = (!self.faults.is_empty())
             .then(|| FaultState::new(self.faults.clone(), self.p));
         let shared = Arc::new(Shared::new(
             self.p,
+            self.worker_count(),
             self.placement.clone(),
             self.recv_timeout,
             trace.clone(),
@@ -238,13 +304,36 @@ impl Runtime {
         let failures_ref = &failures;
 
         std::thread::scope(|scope| {
+            // The timekeeper services the deadline wheel (recv/split
+            // timeouts) and performs fault-delayed deliveries. It is scoped
+            // to this run: shutdown() below ends it, and any still-pending
+            // delayed deliveries are cancelled with it — nothing outlives
+            // the runtime.
+            let tk_shared = shared.clone();
+            std::thread::Builder::new()
+                .name("mpi-sim-timer".to_string())
+                .spawn_scoped(scope, move || {
+                    let deliver_shared = tk_shared.clone();
+                    tk_shared.sched.timekeeper_loop(move |dst, key, payload| {
+                        deliver_shared.mailboxes[dst].deliver(key, payload);
+                        deliver_shared.sched.wake(dst);
+                    });
+                })
+                .expect("spawn timekeeper thread");
+
             let mut handles = Vec::with_capacity(self.p);
             for (rank, slot) in results.iter().enumerate() {
                 let shared = shared.clone();
+                let mut builder =
+                    std::thread::Builder::new().name(format!("rank-{rank}"));
+                if let Some(bytes) = self.stack_bytes {
+                    builder = builder.stack_size(bytes);
+                }
                 handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("rank-{rank}"))
+                    builder
                         .spawn_scoped(scope, move || {
+                            // wait for a worker slot before touching user code
+                            shared.sched.register_current(rank);
                             let comm = Comm::world(shared.clone(), rank);
                             // catch_unwind keeps one rank's panic from
                             // unwinding through the scope while peers are
@@ -268,6 +357,8 @@ impl Runtime {
                                     shared.poison(rank);
                                 }
                             }
+                            // release the worker slot to the next runnable rank
+                            shared.sched.finish(rank);
                         })
                         .expect("spawn rank thread"),
                 );
@@ -277,10 +368,13 @@ impl Runtime {
                 // a bug in the harness itself
                 h.join().expect("rank thread infrastructure panicked");
             }
+            // all ranks are done — stop the timekeeper (joined by the scope)
+            shared.sched.shutdown();
         });
 
         let failures = failures.into_inner();
         let traffic = shared.counters.snapshot();
+        let stats = shared.sched.stats();
         let trace = trace.map(|t| t.finish());
         let out = if failures.is_empty() {
             Ok(results
@@ -290,7 +384,7 @@ impl Runtime {
         } else {
             Err(RunError { failures })
         };
-        (out, traffic, trace)
+        (out, traffic, trace, stats)
     }
 }
 
@@ -438,6 +532,105 @@ mod tests {
         assert!(format!("{err}").contains("2 more rank(s)"), "{err}");
     }
 
+    /// The ordering claim the comment in `try_run_inner` makes — "record
+    /// before poisoning so the root cause always precedes the PeerFailed
+    /// wakeups" — exercised at high p on a tiny pool, where the poison
+    /// fan-out wakes hundreds of parked ranks nearly simultaneously.
+    #[test]
+    fn root_cause_app_error_precedes_peer_failed_cascade_at_high_p() {
+        let p = 256;
+        let rt = Runtime::new(p)
+            .with_workers(4)
+            .with_stack_size(256 * 1024)
+            .with_recv_timeout(Duration::from_secs(60));
+        let err = rt
+            .try_run(move |comm| -> Result<(), CommError> {
+                if comm.rank() == 17 {
+                    // park long enough for most peers to block in recv
+                    comm.yield_now();
+                    return Err(CommError::Killed { rank: 17 });
+                }
+                let _: u8 = comm.recv(17, 1)?;
+                Ok(())
+            })
+            .expect_err("rank 17 fails");
+        assert_eq!(err.first().rank, 17, "root cause must be the first failure recorded");
+        assert!(matches!(err.first().error, FailureKind::App(CommError::Killed { rank: 17 })));
+        assert_eq!(err.failures.len(), p, "every peer reports the cascade");
+        for f in &err.failures[1..] {
+            assert!(
+                matches!(f.error, FailureKind::App(CommError::PeerFailed { rank: 17 })),
+                "rank {} must blame the root cause, got {:?}",
+                f.rank,
+                f.error
+            );
+        }
+    }
+
+    #[test]
+    fn root_cause_panic_precedes_peer_failed_cascade_at_high_p() {
+        let p = 256;
+        let rt = Runtime::new(p)
+            .with_workers(4)
+            .with_stack_size(256 * 1024)
+            .with_recv_timeout(Duration::from_secs(60));
+        let err = rt
+            .try_run(move |comm| -> Result<(), CommError> {
+                if comm.rank() == 99 {
+                    comm.yield_now();
+                    panic!("rank 99 exploded at scale");
+                }
+                let _: u8 = comm.recv(99, 1)?;
+                Ok(())
+            })
+            .expect_err("rank 99 panics");
+        assert_eq!(err.first().rank, 99);
+        assert!(matches!(&err.first().error, FailureKind::Panic(m) if m.contains("exploded")));
+        for f in &err.failures[1..] {
+            assert!(matches!(f.error, FailureKind::App(CommError::PeerFailed { rank: 99 })));
+        }
+    }
+
+    /// Regression for the helper-thread escape hatch: pairwise exchanges
+    /// used to be written with raw `std::thread::spawn`, so a panic inside
+    /// one aborted the process instead of producing a typed failure. The
+    /// whole [`Comm::sendrecv`] exchange now runs on the rank's scheduled
+    /// task, inside `catch_unwind` and the failure accounting.
+    #[test]
+    fn panic_during_sendrecv_exchange_is_a_typed_failure() {
+        let p = 3;
+        let err = Runtime::new(p)
+            .try_run(move |comm| -> Result<(), CommError> {
+                let right = (comm.rank() + 1) % p;
+                let left = (comm.rank() + p - 1) % p;
+                let _: u64 = comm.sendrecv(right, 1, comm.rank() as u64, left, 1)?;
+                if comm.rank() == 1 {
+                    panic!("boom mid-exchange");
+                }
+                // second exchange blocks the survivors until poisoned
+                let _: u64 = comm.sendrecv(right, 2, comm.rank() as u64, left, 2)?;
+                Ok(())
+            })
+            .expect_err("rank 1 panics");
+        assert_eq!(err.first().rank, 1);
+        assert!(matches!(&err.first().error, FailureKind::Panic(m) if m.contains("boom")));
+        for f in &err.failures[1..] {
+            assert!(matches!(f.error, FailureKind::App(CommError::PeerFailed { rank: 1 })));
+        }
+    }
+
+    #[test]
+    fn stats_report_pool_bounds_and_scheduling_activity() {
+        let (out, _, stats) = Runtime::new(16).with_workers(2).try_run_with_stats(
+            |comm| -> Result<u64, CommError> { comm.allreduce(comm.rank() as u64, |a, b| a + b) },
+        );
+        assert_eq!(out.unwrap(), vec![120; 16]);
+        assert_eq!((stats.ranks, stats.workers), (16, 2));
+        assert!(stats.peak_running <= 2, "pool of 2 ran {} tasks at once", stats.peak_running);
+        assert!(stats.parks > 0, "an allreduce over 16 ranks must park someone");
+        assert!(stats.wakes > 0);
+    }
+
     #[test]
     fn kill_fault_terminates_every_rank_quickly() {
         // kill rank 1 before its very first send: the ring broadcast can
@@ -498,16 +691,19 @@ mod tests {
             Duration::from_millis(50),
         ));
         let start = Instant::now();
-        let out = rt.run(|comm| {
+        let (out, _, stats) = rt.try_run_with_stats(|comm| -> Result<u64, CommError> {
             if comm.rank() == 0 {
-                comm.send(1, 7, 42u64).unwrap();
-                0
+                comm.send(1, 7, 42u64)?;
+                Ok(0)
             } else {
-                comm.recv::<u64>(0, 7).unwrap()
+                comm.recv::<u64>(0, 7)
             }
         });
-        assert_eq!(out[1], 42);
+        assert_eq!(out.unwrap()[1], 42);
         assert!(start.elapsed() >= Duration::from_millis(45));
+        // the delayed message went through the timekeeper's wheel, not a
+        // fire-and-forget helper thread
+        assert_eq!(stats.timer_deliveries, 1);
     }
 
     #[test]
