@@ -10,7 +10,9 @@
 //! 2×2×2 policy cube, and a headline distributed run recorded twice — once
 //! with the pre-PR serial OuterUpdate (`baseline_wall_s`) and once with the
 //! thread-budgeted kernel (`wall_s`) — so the speedup claims are carried
-//! *in* the artifact rather than asserted in prose.
+//! *in* the artifact rather than asserted in prose. The `solver/*` entries
+//! do the same for the planner: each generator family records the
+//! planner-chosen solver against forced dense-blocked.
 //!
 //! Schema (`apsp-bench-perf/1`): a top-level object with `schema`, `mode`,
 //! `reps`, `available_parallelism`, and `entries`; each entry has `name`
@@ -310,6 +312,10 @@ struct Sizes {
     dist_b: usize,
     headline_n: usize,
     headline_b: usize,
+    solver_grid_side: usize,
+    solver_ring_n: usize,
+    solver_dense_n: usize,
+    solver_b: usize,
 }
 
 fn sizes(mode: Mode) -> Sizes {
@@ -323,6 +329,10 @@ fn sizes(mode: Mode) -> Sizes {
             dist_b: 48,
             headline_n: 1024,
             headline_b: 128,
+            solver_grid_side: 64,
+            solver_ring_n: 4096,
+            solver_dense_n: 512,
+            solver_b: 64,
         },
         Mode::Quick => Sizes {
             gemm_n: 64,
@@ -333,6 +343,10 @@ fn sizes(mode: Mode) -> Sizes {
             dist_b: 16,
             headline_n: 96,
             headline_b: 32,
+            solver_grid_side: 16,
+            solver_ring_n: 256,
+            solver_dense_n: 128,
+            solver_b: 16,
         },
     }
 }
@@ -571,6 +585,66 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
             baseline_wall_s: Some(baseline_wall_s),
             speedup: Some(baseline_wall_s / wall_s),
         });
+    }
+
+    // --- solver layer: planner's pick vs forced dense-blocked -------------
+    // Three generator families spanning the density crossover. Each entry
+    // records the planner-chosen solver (`wall_s`, planning cost included)
+    // against the always-dense blocked engine (`baseline_wall_s`), so the
+    // claim "the planner beats always-dense on sparse inputs" is carried in
+    // the artifact. On dense families auto re-picks blocked, paying only the
+    // one-time O(m) profile pass — visible at bench sizes, noise at real ones.
+    eprintln!(
+        "[perf] solver planner picks: grid {0}x{0}, ring {1}, dense {2}",
+        sz.solver_grid_side, sz.solver_ring_n, sz.solver_dense_n
+    );
+    {
+        use apsp_core::{Registry, SolveOpts};
+        let reg = Registry::with_all();
+        let families = [
+            (
+                "grid",
+                generators::grid(sz.solver_grid_side, sz.solver_grid_side, WeightKind::small_ints(), 31),
+            ),
+            ("ring_chords", generators::ring_with_chords(sz.solver_ring_n, WeightKind::small_ints(), 32)),
+            ("uniform_dense", generators::uniform_dense(sz.solver_dense_n, WeightKind::small_ints(), 33)),
+        ];
+        for (family, g) in families {
+            let opts = SolveOpts::with_block(sz.solver_b);
+            let chosen = reg.plan(&g, &opts).chosen.expect("an eligible solver");
+            let baseline_wall_s = time_min(
+                reps,
+                || (),
+                |()| {
+                    reg.solve("blocked", &g, &opts).expect("forced dense-blocked");
+                },
+            );
+            let wall_s = time_min(
+                reps,
+                || (),
+                |()| {
+                    // plan + solve, so the planner's own cost is charged
+                    reg.solve("auto", &g, &opts).expect("planner pick");
+                },
+            );
+            eprintln!(
+                "  solver/auto/{family}: picked '{chosen}' {wall_s:.6}s, forced blocked {baseline_wall_s:.6}s, x{:.3}",
+                baseline_wall_s / wall_s
+            );
+            entries.push(Entry {
+                name: format!("solver/auto/{family}"),
+                group: "solver".to_string(),
+                params: vec![
+                    ("n".to_string(), g.n() as f64),
+                    ("m".to_string(), g.m() as f64),
+                    ("block".to_string(), sz.solver_b as f64),
+                ],
+                wall_s,
+                gflops: None,
+                baseline_wall_s: Some(baseline_wall_s),
+                speedup: Some(baseline_wall_s / wall_s),
+            });
+        }
     }
 
     Report {

@@ -3,6 +3,7 @@
 pub mod bench;
 pub mod generate;
 pub mod info;
+pub mod plan;
 pub mod route;
 pub mod simulate;
 pub mod solve;
@@ -145,6 +146,46 @@ pub fn resolve_axes(
     Ok((schedule, bcast, exec))
 }
 
+/// Parse a byte-size string: plain bytes or a `k`/`m`/`g` suffix
+/// (powers of 1024), e.g. `--memory-budget 512m`.
+pub fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.as_bytes().last() {
+        Some(b'k') => (&t[..t.len() - 1], 1u64 << 10),
+        Some(b'm') => (&t[..t.len() - 1], 1u64 << 20),
+        Some(b'g') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t.as_str(), 1),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("bad byte size '{s}' (e.g. 4096, 64k, 512m, 2g)"))?;
+    n.checked_mul(mult).ok_or_else(|| format!("byte size '{s}' overflows"))
+}
+
+/// Build the shared [`apsp_core::SolveOpts`] from CLI flags (`--block`,
+/// `--threads`/`--serial`, `--memory-budget`, `--pr`/`--pc`, the dist axes,
+/// `--recv-timeout`). Used identically by `apsp solve` and `apsp plan` so
+/// the plan describes exactly the run `solve` would perform.
+pub fn build_solve_opts(args: &crate::args::Args) -> Result<apsp_core::SolveOpts, String> {
+    let block: usize = args.opt("block", 64)?;
+    if block == 0 {
+        return Err("--block must be positive".into());
+    }
+    let threads: usize =
+        if args.has_flag("serial") { 1 } else { args.opt("threads", 0)? };
+    let memory_budget = args.opt_str("memory-budget").map(parse_byte_size).transpose()?;
+    let (schedule, bcast, exec) = resolve_axes(args, "pipelined")?;
+    Ok(apsp_core::SolveOpts {
+        block,
+        threads,
+        memory_budget,
+        grid: (args.opt("pr", 2)?, args.opt("pc", 2)?),
+        dist: apsp_core::FwConfig::from_axes(block, schedule, bcast, exec),
+        dist_run: apsp_core::DistRunOpts {
+            recv_timeout: parse_recv_timeout(args)?,
+            ..Default::default()
+        },
+    })
+}
+
 /// Load a graph from `path`, inferring format from the extension unless
 /// `format` overrides (`dimacs` | `edges`).
 pub fn load_graph(path: &str, format: Option<&str>) -> Result<Graph, String> {
@@ -200,6 +241,15 @@ mod tests {
             assert_eq!(back.m(), g.m());
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("4096").unwrap(), 4096);
+        assert_eq!(parse_byte_size("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_byte_size("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_byte_size("2g").unwrap(), 2 << 30);
+        assert!(parse_byte_size("lots").is_err());
     }
 
     #[test]

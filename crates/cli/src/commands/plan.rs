@@ -1,0 +1,89 @@
+//! `apsp plan` — profile a graph and print the planner's explained
+//! solver choice without running anything.
+
+use apsp_core::Registry;
+
+use crate::args::Args;
+
+/// Entry point.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!(
+            "apsp plan --input <FILE>
+  prints the graph profile, every solver's cost estimate or typed
+  ineligibility reason, and the solver '--algo auto' would pick
+  --block <N>        block size the tiled solvers would use (default 64)
+  --threads <N>      worker cap the estimates assume (0 = all cores)
+  --memory-budget <BYTES[k|m|g]>  working-set ceiling for eligibility
+  --pr <N> --pc <N>  process grid assumed for the dist row (default 2x2)
+  --format <dimacs|edges>"
+        );
+        return Ok(());
+    }
+    let args = Args::parse(tokens)?;
+    let opts = super::build_solve_opts(&args)?;
+    let input = args.opt_str("input").ok_or("missing required option --input")?;
+    let g = super::load_graph(input, args.opt_str("format"))?;
+    if g.n() == 0 {
+        return Err("graph is empty".into());
+    }
+    let plan = Registry::with_all().plan(&g, &opts);
+    print!("{}", plan.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn write_graph(g: &apsp_graph::Graph, name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "apsp-plan-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join(name);
+        crate::commands::save_graph(g, input.to_str().unwrap(), None).unwrap();
+        (dir, input)
+    }
+
+    #[test]
+    fn plan_runs_on_a_sparse_graph_and_explains_itself() {
+        let g = apsp_graph::generators::grid(
+            8,
+            8,
+            apsp_graph::generators::WeightKind::small_ints(),
+            3,
+        );
+        let (dir, input) = write_graph(&g, "grid.gr");
+        run(&toks(&format!("--input {}", input.display()))).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_rejects_missing_input_and_empty_graphs() {
+        assert!(run(&toks("")).unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn plan_accepts_budget_and_thread_flags() {
+        let g = apsp_graph::generators::erdos_renyi(
+            10,
+            0.4,
+            apsp_graph::generators::WeightKind::small_ints(),
+            5,
+        );
+        let (dir, input) = write_graph(&g, "er.gr");
+        run(&toks(&format!(
+            "--input {} --threads 2 --memory-budget 64m --block 8",
+            input.display()
+        )))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,15 +1,16 @@
 //! `apsp solve` — compute all-pairs shortest distances.
+//!
+//! Dispatch goes through the [`apsp_core::Registry`]: every algorithm is a
+//! [`apsp_core::Solver`] adapter, `--algo auto` lets the planner pick, and
+//! eligibility failures surface as typed, explained errors. The one special
+//! case kept outside the registry is `--trace`, which needs the traced
+//! distributed API to emit per-rank Chrome traces.
 
 use std::io::Write;
 use std::time::Instant;
 
-use apsp_core::dc_apsp::dc_apsp;
-use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
-use apsp_core::fw_seq::fw_seq;
-use apsp_core::fw_sparse::fw_block_sparse;
 use apsp_core::model::fw_flops;
-use apsp_graph::johnson::johnson_apsp;
-use srgemm::block_sparse::BlockSparseMatrix;
+use apsp_core::{Registry, SolveOpts};
 use srgemm::{Matrix, MinPlusF32};
 
 use crate::args::Args;
@@ -18,9 +19,12 @@ use crate::args::Args;
 pub fn run(tokens: &[String]) -> Result<(), String> {
     if tokens.iter().any(|t| t == "--help") {
         println!(
-            "apsp solve --input <FILE> [--algo fw|blocked|dc|sparse|johnson|dist]
+            "apsp solve --input <FILE> [--algo {}|auto]
+  --algo auto        profile the graph and let the planner pick (see 'apsp plan')
   --block <N>        block size for blocked/sparse/dist (default 64)
-  --serial           disable rayon parallelism (blocked/dc)
+  --threads <N>      cap worker threads (0 = all cores)
+  --serial           shorthand for --threads 1
+  --memory-budget <BYTES[k|m|g]>  working-set ceiling for planner eligibility
   --out <FILE>       write the distance matrix as TSV (careful: n² values)
   --format <dimacs|edges>
   --trace <FILE>     write a per-rank Chrome trace_events JSON and print the
@@ -34,7 +38,8 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
   --recv-timeout <SECS>  deadlock-detection timeout for --algo dist receives
   --fault <SPEC>         inject a deterministic fault into the --algo dist run:
                          kill:<rank>@<send> | drop:<rank>@<n> |
-                         delay:<rank>@<n>:<ms> | random:<seed>"
+                         delay:<rank>@<n>:<ms> | random:<seed>",
+            Registry::with_all().names().join("|")
         );
         return Ok(());
     }
@@ -50,8 +55,11 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     if algo != "dist" && (args.opt_str("fault").is_some() || args.opt_str("recv-timeout").is_some()) {
         return Err(format!("--fault/--recv-timeout act on the simulated runtime, which only --algo dist uses (got '{algo}')"));
     }
-    let block: usize = args.opt("block", 64)?;
-    let parallel = !args.has_flag("serial");
+    let mut opts: SolveOpts = super::build_solve_opts(&args)?;
+    if let Some(spec) = args.opt_str("fault") {
+        opts.dist_run.faults = super::parse_fault_plan(spec, opts.grid.0 * opts.grid.1)?;
+        println!("fault injection: {spec}");
+    }
 
     let g = match args.opt_str("input") {
         Some(input) => {
@@ -76,62 +84,41 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     }
 
     let t0 = Instant::now();
-    let dist: Matrix<f32> = match algo.as_str() {
-        "fw" => {
-            let mut d = g.to_dense();
-            fw_seq::<MinPlusF32>(&mut d);
-            d
-        }
-        "blocked" => {
-            let mut d = g.to_dense();
-            fw_blocked::<MinPlusF32>(&mut d, block, DiagMethod::FwClosure, parallel);
-            d
-        }
-        "dc" => {
-            let mut d = g.to_dense();
-            dc_apsp::<MinPlusF32>(&mut d, block.max(1), parallel);
-            d
-        }
-        "sparse" => {
-            let mut sp = BlockSparseMatrix::from_dense(&g.to_dense(), block, f32::INFINITY);
-            // seed zero diagonals so absent diagonal blocks still close
-            for i in 0..n {
-                sp.set(i, i, 0.0);
+    let dist: Matrix<f32> = if let Some(trace_out) = trace_path {
+        // traced distributed run: the registry's dist adapter covers the
+        // untraced case; tracing needs the *_traced API and its artifacts
+        let (pr, pc) = opts.grid;
+        let cfg = { let mut c = opts.dist; c.block = opts.block; c };
+        println!("dist: {} on a {pr}x{pc} simulated grid, b = {}", cfg.legend(), cfg.block);
+        let (d, traffic, trace) = apsp_core::distributed_apsp_traced_opts::<MinPlusF32>(
+            pr, pc, &cfg, &g.to_dense(), None, &opts.dist_run,
+        )
+        .map_err(|e| format!("dist: {e}"))?;
+        print!("{}", trace.phase_summary(&traffic));
+        std::fs::write(trace_out, trace.to_chrome_json())
+            .map_err(|e| format!("write {trace_out}: {e}"))?;
+        println!("wrote per-rank trace to {trace_out} (open in chrome://tracing or Perfetto)");
+        d
+    } else {
+        let reg = Registry::with_all();
+        let sol = if algo == "auto" {
+            let (plan, sol) = reg.solve_auto(&g, &opts).map_err(|e| e.to_string())?;
+            let chosen = plan.chosen.unwrap_or("?");
+            match plan.entry(chosen).and_then(|e| e.outcome.as_ref().ok()) {
+                Some(est) => println!(
+                    "auto: picked '{chosen}' (est {}); run 'apsp plan' for the full table",
+                    apsp_core::solver::planner::human_seconds(est.seconds)
+                ),
+                None => println!("auto: picked '{chosen}'"),
             }
-            let stats = fw_block_sparse::<MinPlusF32>(&mut sp);
-            println!(
-                "sparse: {} → {} blocks materialized, {:.0}% of dense block work",
-                stats.input_blocks,
-                stats.output_blocks,
-                100.0 * stats.work_ratio()
-            );
-            sp.to_dense()
+            sol
+        } else {
+            reg.solve(&algo, &g, &opts).map_err(|e| e.to_string())?
+        };
+        for note in &sol.stats.notes {
+            println!("{note}");
         }
-        "johnson" => johnson_apsp(&g).map_err(|e| format!("{e:?}"))?,
-        "dist" => {
-            let pr: usize = args.opt("pr", 2)?;
-            let pc: usize = args.opt("pc", 2)?;
-            let (schedule, bcast, exec) = super::resolve_axes(&args, "pipelined")?;
-            let cfg = apsp_core::dist::FwConfig::from_axes(block, schedule, bcast, exec);
-            let mut opts = apsp_core::DistRunOpts { recv_timeout: super::parse_recv_timeout(&args)?, ..Default::default() };
-            if let Some(spec) = args.opt_str("fault") {
-                opts.faults = super::parse_fault_plan(spec, pr * pc)?;
-                println!("fault injection: {spec}");
-            }
-            println!("dist: {} on a {pr}x{pc} simulated grid, b = {block}", cfg.legend());
-            let (d, traffic, trace) = apsp_core::distributed_apsp_traced_opts::<MinPlusF32>(
-                pr, pc, &cfg, &g.to_dense(), None, &opts,
-            )
-            .map_err(|e| format!("dist: {e}"))?;
-            print!("{}", trace.phase_summary(&traffic));
-            if let Some(path) = trace_path {
-                std::fs::write(path, trace.to_chrome_json())
-                    .map_err(|e| format!("write {path}: {e}"))?;
-                println!("wrote per-rank trace to {path} (open in chrome://tracing or Perfetto)");
-            }
-            d
-        }
-        other => return Err(format!("unknown algorithm '{other}'")),
+        sol.dist
     };
     let secs = t0.elapsed().as_secs_f64();
     println!("solved in {:.3} s ({:.2} Gflop/s FW-equivalent)", secs, fw_flops(n) / secs / 1e9);
@@ -194,12 +181,49 @@ mod tests {
     #[test]
     fn every_algorithm_solves_and_agrees() {
         let (dir, input) = fixture();
-        // solve with each algorithm, dump TSVs, compare
+        // solve with each eligible algorithm (and auto), dump TSVs, compare;
+        // the fixture has non-negative integer weights, so everything except
+        // seidel (non-unit weights) applies
         let mut outputs = Vec::new();
-        for algo in ["fw", "blocked", "dc", "sparse", "johnson", "dist"] {
+        for algo in ["fw", "blocked", "dc", "sparse", "johnson", "dijkstra", "delta", "dist", "auto"]
+        {
             let out = dir.join(format!("{algo}.tsv"));
             let cmd = format!(
                 "--input {} --algo {algo} --block 4 --out {}",
+                input.display(),
+                out.display()
+            );
+            run(&toks(&cmd)).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aliases_and_typed_ineligibility_surface_through_the_cli() {
+        let (dir, input) = fixture();
+        // alias: --algo dense resolves to the blocked solver
+        let out = dir.join("dense.tsv");
+        run(&toks(&format!("--input {} --algo dense --block 4 --out {}", input.display(), out.display())))
+            .unwrap();
+        // seidel refuses the non-unit-weight fixture with an explained error
+        let err = run(&toks(&format!("--input {} --algo seidel", input.display()))).unwrap_err();
+        assert!(err.contains("seidel: ineligible"), "{err}");
+        assert!(err.contains("not all 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_cap_and_serial_flag_agree_with_default() {
+        let (dir, input) = fixture();
+        let mut outputs = Vec::new();
+        for extra in ["", "--serial", "--threads 2"] {
+            let out = dir.join(format!("t{}.tsv", outputs.len()));
+            let cmd = format!(
+                "--input {} --algo blocked --block 4 {extra} --out {}",
                 input.display(),
                 out.display()
             );
@@ -209,6 +233,15 @@ mod tests {
         for o in &outputs[1..] {
             assert_eq!(o, &outputs[0]);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_budget_starves_auto_into_a_typed_error() {
+        let (dir, input) = fixture();
+        let cmd = format!("--input {} --algo auto --memory-budget 1", input.display());
+        let err = run(&toks(&cmd)).unwrap_err();
+        assert!(err.contains("no eligible solver"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -347,7 +380,9 @@ mod tests {
     fn unknown_algo_is_an_error() {
         let (dir, input) = fixture();
         let cmd = format!("--input {} --algo magic", input.display());
-        assert!(run(&toks(&cmd)).is_err());
+        let err = run(&toks(&cmd)).unwrap_err();
+        assert!(err.contains("unknown algorithm 'magic'"), "{err}");
+        assert!(err.contains("blocked"), "should list known names: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

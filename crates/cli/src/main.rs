@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! apsp generate --kind dense --n 512 --seed 7 --out g.gr
-//! apsp solve    --input g.gr --algo blocked --block 64 --out dist.tsv
+//! apsp solve    --input g.gr --algo auto --block 64 --out dist.tsv
+//! apsp plan     --input g.gr
 //! apsp route    --input g.gr --from 0 --to 99
 //! apsp simulate --nodes 64 --n 300000 --variant async
 //! apsp info     --input g.gr
@@ -33,6 +34,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match cmd {
         "generate" => commands::generate::run(rest),
         "solve" => commands::solve::run(rest),
+        "plan" => commands::plan::run(rest),
         "route" => commands::route::run(rest),
         "simulate" => commands::simulate::run(rest),
         "info" => commands::info::run(rest),
@@ -54,7 +56,8 @@ USAGE:
 
 COMMANDS:
     generate   create a graph (dense/er/grid/ring/geometric) and write it to a file
-    solve      compute APSP distances with a chosen algorithm
+    solve      compute APSP distances with a chosen algorithm (or --algo auto)
+    plan       profile a graph and explain which solver 'auto' would pick
     route      print the shortest route between two vertices
     simulate   predict a run on the calibrated Summit model
     info       print statistics of a graph file

@@ -31,6 +31,12 @@
 //! * [`schedule`] — lowers any policy triple to a [`cluster_sim`] task DAG
 //!   at Summit scale; this is what regenerates the paper's Figs. 3–4 and
 //!   7–9.
+//! * [`solver`] — one [`Solver`] registry over every APSP algorithm in the
+//!   workspace (dense FW, block-sparse, Johnson, Dijkstra, Δ-stepping,
+//!   Seidel, the distributed driver), a one-pass [`GraphProfile`], and a
+//!   calibrated cost-model planner behind `--algo auto` / `apsp plan` that
+//!   picks a solver and explains why — ineligibility is typed
+//!   ([`Ineligible`]), never a panic.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +61,7 @@ pub mod incremental;
 pub mod model;
 pub mod paths_dist;
 pub mod schedule;
+pub mod solver;
 pub mod verify;
 
 pub use dist::{
@@ -64,3 +71,6 @@ pub use dist::{
 };
 pub use fw_blocked::{fw_blocked, DiagMethod};
 pub use fw_seq::{fw_seq, fw_seq_with_paths};
+pub use solver::{
+    GraphProfile, Ineligible, Plan, Registry, Solution, SolveError, SolveOpts, Solver, SolverStats,
+};

@@ -1,0 +1,647 @@
+//! [`Solver`] adapters: every APSP algorithm in the workspace wrapped
+//! behind the common trait. Each adapter owns its eligibility rules, its
+//! cost model (constants in [`super::planner`]), and the translation from the
+//! algorithm's native error type into [`SolveError`].
+
+use apsp_graph::delta_stepping::apsp_by_delta_stepping;
+use apsp_graph::dijkstra::apsp_by_dijkstra_threads;
+use apsp_graph::johnson::{johnson_apsp_threads, JohnsonError};
+use apsp_graph::seidel::{seidel_apsp, SeidelError};
+use apsp_graph::Graph;
+use srgemm::{Matrix, MinPlusF32};
+
+use crate::dc_apsp::dc_apsp;
+use crate::dist::distributed_apsp_opts;
+use crate::fw_blocked::{fw_blocked, DiagMethod};
+use crate::fw_seq::fw_seq;
+use crate::fw_sparse::fw_block_sparse;
+
+use super::planner::{
+    delta_sweep_seconds, dense_flops, sssp_sweep_seconds, T_FLOP_BLOCKED, T_FLOP_PACKED,
+    T_FLOP_SEQ, T_RELAX,
+    T_SIM_RANK,
+};
+use super::{
+    Estimate, GraphProfile, Ineligible, Solution, SolveError, SolveOpts, Solver, SolverStats,
+};
+
+/// All adapters, in presentation order (the order `apsp plan` lists
+/// ineligible rows and `--help` lists names).
+pub fn all() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(Blocked),
+        Box::new(Dc),
+        Box::new(FwSeq),
+        Box::new(Sparse),
+        Box::new(Johnson),
+        Box::new(Dijkstra),
+        Box::new(DeltaStepping),
+        Box::new(Seidel),
+        Box::new(Dist),
+    ]
+}
+
+/// Run `f` under a rayon pool capped at `threads` workers (`0` → no cap:
+/// run on the ambient pool). This is how the dense solvers — which size
+/// themselves off `rayon::current_num_threads()` via `budget_threads` —
+/// inherit the [`SolveOpts::threads`] budget.
+fn with_thread_cap<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    if threads == 0 {
+        return f();
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction is infallible")
+        .install(f)
+}
+
+fn solution(dist: Matrix<f32>, solver: &'static str, threads: usize) -> Solution {
+    Solution { dist, solver, stats: SolverStats { threads, ..Default::default() } }
+}
+
+/// Packed register-tiled blocked Floyd-Warshall (the paper's single-node
+/// engine), parallel over block rows.
+struct Blocked;
+
+impl Solver for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["dense", "packed"]
+    }
+    fn description(&self) -> &'static str {
+        "packed register-tiled blocked FW (multicore dense engine)"
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, opts: &SolveOpts) -> u64 {
+        profile.dense_bytes + (2 * profile.n * opts.block.max(1) * 4) as u64
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        let t = opts.effective_threads();
+        Estimate {
+            seconds: dense_flops(profile.n) * T_FLOP_PACKED / t as f64,
+            detail: "2n³ · t_packed / threads".into(),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let threads = opts.effective_threads();
+        let mut d = g.to_dense();
+        with_thread_cap(opts.threads, || {
+            fw_blocked::<MinPlusF32>(&mut d, opts.block.max(1), DiagMethod::FwClosure, threads > 1)
+        });
+        Ok(solution(d, self.name(), threads))
+    }
+}
+
+/// Divide-and-conquer FW (cache-oblivious recursion over the same packed
+/// GEMM).
+struct Dc;
+
+impl Solver for Dc {
+    fn name(&self) -> &'static str {
+        "dc"
+    }
+    fn description(&self) -> &'static str {
+        "divide-and-conquer FW (cache-oblivious recursion)"
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, _opts: &SolveOpts) -> u64 {
+        profile.dense_bytes
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        let t = opts.effective_threads();
+        Estimate {
+            seconds: dense_flops(profile.n) * T_FLOP_PACKED * 1.2 / t as f64,
+            detail: "2n³ · 1.2·t_packed / threads (recursion overhead)".into(),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let threads = opts.effective_threads();
+        let mut d = g.to_dense();
+        with_thread_cap(opts.threads, || {
+            dc_apsp::<MinPlusF32>(&mut d, opts.block.max(1), threads > 1)
+        });
+        Ok(solution(d, self.name(), threads))
+    }
+}
+
+/// Sequential triple-loop FW: the reference everything else is verified
+/// against.
+struct FwSeq;
+
+impl Solver for FwSeq {
+    fn name(&self) -> &'static str {
+        "fw"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["seq"]
+    }
+    fn description(&self) -> &'static str {
+        "sequential triple-loop FW (reference oracle)"
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, _opts: &SolveOpts) -> u64 {
+        profile.dense_bytes
+    }
+    fn estimate(&self, profile: &GraphProfile, _opts: &SolveOpts) -> Estimate {
+        Estimate { seconds: dense_flops(profile.n) * T_FLOP_SEQ, detail: "2n³ · t_seq, serial".into() }
+    }
+    fn solve(&self, g: &Graph, _opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let mut d = g.to_dense();
+        fw_seq::<MinPlusF32>(&mut d);
+        Ok(solution(d, self.name(), 1))
+    }
+}
+
+/// Block-sparse FW: only materialized blocks are stored and multiplied;
+/// fill-in grows the block set as closure proceeds.
+struct Sparse;
+
+impl Solver for Sparse {
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["block-sparse"]
+    }
+    fn description(&self) -> &'static str {
+        "block-sparse FW with fill-in (skips empty blocks)"
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, opts: &SolveOpts) -> u64 {
+        // fill stays within weak components, so the final block set is at
+        // most one dense matrix per component
+        let b = opts.block.max(1) as u64;
+        let input = profile.nnz_blocks as u64 * b * b * 4;
+        input.max(profile.dense_bytes / profile.weak_components.max(1) as u64)
+    }
+    fn estimate(&self, profile: &GraphProfile, _opts: &SolveOpts) -> Estimate {
+        Estimate {
+            seconds: dense_flops(profile.n) * T_FLOP_BLOCKED * profile.est_fill_work_ratio(),
+            detail: format!(
+                "2n³ · t_blocked · {:.2} est. fill work, serial",
+                profile.est_fill_work_ratio()
+            ),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let mut sp = g.to_block_sparse(opts.block.max(1));
+        let stats = fw_block_sparse::<MinPlusF32>(&mut sp);
+        let mut sol = solution(sp.to_dense(), self.name(), 1);
+        sol.stats.notes.push(format!(
+            "sparse: {} → {} blocks materialized, {:.0}% of dense block work",
+            stats.input_blocks,
+            stats.output_blocks,
+            100.0 * stats.work_ratio()
+        ));
+        sol.stats.metrics.extend([
+            ("input_blocks", stats.input_blocks as f64),
+            ("output_blocks", stats.output_blocks as f64),
+            ("block_gemms", stats.block_gemms as f64),
+            ("work_ratio", stats.work_ratio()),
+        ]);
+        Ok(sol)
+    }
+}
+
+/// Johnson's algorithm: Bellman-Ford potentials + one Dijkstra per source,
+/// parallel over sources. Handles negative edges (not negative cycles).
+struct Johnson;
+
+impl Solver for Johnson {
+    fn name(&self) -> &'static str {
+        "johnson"
+    }
+    fn description(&self) -> &'static str {
+        "Johnson APSP (BF reweight + Dijkstra sweep, handles negative edges)"
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, _opts: &SolveOpts) -> u64 {
+        profile.dense_bytes + 12 * profile.m as u64
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        let bf = profile.n as f64 * profile.m as f64 * T_RELAX;
+        Estimate {
+            seconds: bf + sssp_sweep_seconds(profile, opts.effective_threads()),
+            detail: "n·m·t_relax BF + n sweeps (m·t_relax + n·log₂n·t_heap)/threads".into(),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let d = johnson_apsp_threads(g, opts.threads).map_err(|e| match e {
+            JohnsonError::NegativeCycle => SolveError::NegativeCycle,
+        })?;
+        Ok(solution(d, self.name(), opts.effective_threads()))
+    }
+}
+
+/// One Dijkstra per source, parallel over sources. Non-negative weights
+/// only.
+struct Dijkstra;
+
+impl Solver for Dijkstra {
+    fn name(&self) -> &'static str {
+        "dijkstra"
+    }
+    fn description(&self) -> &'static str {
+        "per-source Dijkstra sweep (non-negative weights)"
+    }
+    fn check(&self, profile: &GraphProfile, _opts: &SolveOpts) -> Result<(), Ineligible> {
+        if profile.has_negative() {
+            return Err(Ineligible::NegativeWeights {
+                count: profile.negative_edges,
+                min: profile.min_weight,
+            });
+        }
+        Ok(())
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, _opts: &SolveOpts) -> u64 {
+        profile.dense_bytes + 12 * profile.m as u64
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        Estimate {
+            seconds: sssp_sweep_seconds(profile, opts.effective_threads()),
+            detail: "n sweeps (m·t_relax + n·log₂n·t_heap)/threads".into(),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        Ok(solution(apsp_by_dijkstra_threads(g, opts.threads), self.name(), opts.effective_threads()))
+    }
+}
+
+/// One Δ-stepping sweep per source with Δ = mean edge weight.
+struct DeltaStepping;
+
+impl Solver for DeltaStepping {
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["delta-stepping"]
+    }
+    fn description(&self) -> &'static str {
+        "per-source Δ-stepping sweep (non-negative weights)"
+    }
+    fn check(&self, profile: &GraphProfile, _opts: &SolveOpts) -> Result<(), Ineligible> {
+        if profile.has_negative() {
+            return Err(Ineligible::NegativeWeights {
+                count: profile.negative_edges,
+                min: profile.min_weight,
+            });
+        }
+        Ok(())
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, _opts: &SolveOpts) -> u64 {
+        profile.dense_bytes + 16 * profile.m as u64
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        Estimate {
+            seconds: delta_sweep_seconds(profile, opts.effective_threads()),
+            detail: "n sweeps · m·t_bucket_relax / threads (no heap term)".into(),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        // Δ = mean edge weight: one bucket ≈ one expected hop
+        let m = g.m();
+        let mean = if m == 0 {
+            1.0
+        } else {
+            (g.edges().map(|(_, _, w)| w as f64).sum::<f64>() / m as f64) as f32
+        };
+        let delta = if mean > 0.0 { mean } else { 1.0 };
+        let mut sol =
+            solution(apsp_by_delta_stepping(g, delta, opts.threads), self.name(), opts.effective_threads());
+        sol.stats.notes.push(format!("Δ = {delta:.3} (mean edge weight)"));
+        Ok(sol)
+    }
+}
+
+/// Seidel's matrix-multiplication APSP: hop counts of a connected,
+/// undirected, unit-weight graph.
+struct Seidel;
+
+impl Solver for Seidel {
+    fn name(&self) -> &'static str {
+        "seidel"
+    }
+    fn description(&self) -> &'static str {
+        "Seidel matrix-multiplication APSP (unit weights, undirected, connected)"
+    }
+    fn check(&self, profile: &GraphProfile, _opts: &SolveOpts) -> Result<(), Ineligible> {
+        if !profile.unit_weights {
+            return Err(Ineligible::NonUnitWeights);
+        }
+        if !profile.symmetric {
+            return Err(Ineligible::Directed);
+        }
+        if !profile.connected() {
+            return Err(Ineligible::Disconnected { components: profile.weak_components });
+        }
+        Ok(())
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, _opts: &SolveOpts) -> u64 {
+        // bool adjacency + u32 distance per recursion level + two f64
+        // operands and product for the counting GEMM
+        profile.dense_bytes * 8
+    }
+    fn estimate(&self, profile: &GraphProfile, _opts: &SolveOpts) -> Estimate {
+        let levels = (profile.n.max(2) as f64).log2().ceil();
+        Estimate {
+            seconds: 2.0 * levels * dense_flops(profile.n) * T_FLOP_BLOCKED,
+            detail: "2·⌈log₂n⌉ GEMMs · 2n³ · t_blocked, serial".into(),
+        }
+    }
+    fn solve(&self, g: &Graph, _opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let hops = seidel_apsp(g).map_err(|e| SolveError::Ineligible {
+            solver: self.name(),
+            reason: match e {
+                SeidelError::NotUndirected => Ineligible::Directed,
+                SeidelError::Disconnected => Ineligible::Disconnected { components: 2 },
+            },
+        })?;
+        let d = Matrix::from_fn(g.n(), g.n(), |i, j| hops[(i, j)] as f32);
+        Ok(solution(d, self.name(), 1))
+    }
+}
+
+/// The distributed driver on the in-process simulated runtime. Correct on
+/// any graph, but it *simulates* a cluster on one machine — the planner
+/// never auto-selects it.
+struct Dist;
+
+impl Solver for Dist {
+    fn name(&self) -> &'static str {
+        "dist"
+    }
+    fn description(&self) -> &'static str {
+        "distributed blocked FW on the simulated mpi runtime"
+    }
+    fn auto_excluded(&self) -> Option<&'static str> {
+        Some("in-process cluster simulation — benchmarking/validation target")
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, opts: &SolveOpts) -> u64 {
+        let p = (opts.grid.0 * opts.grid.1).max(1) as u64;
+        (p + 2) * profile.dense_bytes / p.max(1) + profile.dense_bytes
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        let p = (opts.grid.0 * opts.grid.1).max(1) as f64;
+        let rounds = profile.n.div_ceil(opts.block.max(1)) as f64;
+        let seconds = dense_flops(profile.n) * T_FLOP_PACKED / opts.effective_threads() as f64
+            + p * T_SIM_RANK
+            + rounds * p * 1e-4;
+        Estimate { seconds, detail: "2n³·t_packed/threads + simulated-runtime overhead".into() }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let (pr, pc) = opts.grid;
+        let mut cfg = opts.dist;
+        cfg.block = opts.block.max(1);
+        let (d, traffic) =
+            distributed_apsp_opts::<MinPlusF32>(pr, pc, &cfg, &g.to_dense(), None, &opts.dist_run)
+                .map_err(SolveError::Dist)?;
+        let mut sol = solution(d, self.name(), opts.effective_threads());
+        sol.stats.notes.push(format!(
+            "dist: {} on a {pr}x{pc} simulated grid, b = {}",
+            cfg.legend(),
+            cfg.block
+        ));
+        sol.stats.metrics.extend([
+            ("nic_bytes", traffic.total_nic_bytes() as f64),
+            ("total_msgs", traffic.total_msgs as f64),
+        ]);
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{GraphProfile, Registry, SolveError, SolveOpts};
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+    use apsp_graph::GraphBuilder;
+
+    /// Connected, undirected, unit-weight graph: every solver is eligible.
+    fn unit_fixture(n: usize, extra: usize, seed: u64) -> Graph {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_undirected((next() % v as u64) as usize, v, 1.0);
+        }
+        for _ in 0..extra {
+            let (u, v) = ((next() % n as u64) as usize, (next() % n as u64) as usize);
+            if u != v {
+                b.add_undirected(u, v, 1.0);
+            }
+        }
+        b.build()
+    }
+
+    fn reference(g: &Graph) -> Matrix<f32> {
+        let mut d = g.to_dense();
+        fw_seq::<MinPlusF32>(&mut d);
+        d
+    }
+
+    #[test]
+    fn every_registered_solver_agrees_on_a_universally_eligible_graph() {
+        let reg = Registry::with_all();
+        let g = unit_fixture(24, 14, 9);
+        let want = reference(&g);
+        let opts = SolveOpts { block: 4, ..Default::default() };
+        for name in reg.names() {
+            let sol = reg.solve(name, &g, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(sol.dist.eq_exact(&want), "{name} disagrees with fw_seq");
+            assert_eq!(sol.solver, name);
+            assert!(sol.stats.wall_s > 0.0, "{name}: wall clock not stamped");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_solver() {
+        let reg = Registry::with_all();
+        for (alias, canonical) in
+            [("dense", "blocked"), ("packed", "blocked"), ("seq", "fw"), ("block-sparse", "sparse"), ("delta-stepping", "delta")]
+        {
+            assert_eq!(reg.get(alias).unwrap().name(), canonical, "{alias}");
+        }
+    }
+
+    #[test]
+    fn unknown_solver_lists_known_names() {
+        let reg = Registry::with_all();
+        match reg.get("magic") {
+            Err(SolveError::UnknownSolver { name, known }) => {
+                assert_eq!(name, "magic");
+                assert!(known.contains(&"blocked") && known.contains(&"seidel"));
+            }
+            other => panic!("expected UnknownSolver, got {:?}", other.map(|s| s.name())),
+        }
+    }
+
+    #[test]
+    fn dijkstra_and_delta_reject_negative_weights_with_typed_reason() {
+        let reg = Registry::with_all();
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0).add_edge(1, 2, -1.5).add_edge(2, 3, 2.0);
+        let g = b.build();
+        let opts = SolveOpts::default();
+        for name in ["dijkstra", "delta"] {
+            match reg.solve(name, &g, &opts) {
+                Err(SolveError::Ineligible { solver, reason }) => {
+                    assert_eq!(solver, name);
+                    assert_eq!(reason, Ineligible::NegativeWeights { count: 1, min: -1.5 });
+                }
+                other => panic!("{name}: expected Ineligible, got {other:?}"),
+            }
+        }
+        // johnson handles the same graph (no negative cycle)
+        let want = reference(&g);
+        assert!(reg.solve("johnson", &g, &opts).unwrap().dist.eq_exact(&want));
+    }
+
+    #[test]
+    fn seidel_rejects_nonunit_directed_and_disconnected_graphs() {
+        let reg = Registry::with_all();
+        let opts = SolveOpts::default();
+        let cases: [(Graph, Ineligible); 3] = [
+            (
+                generators::grid(4, 4, WeightKind::small_ints(), 1),
+                Ineligible::NonUnitWeights,
+            ),
+            (generators::unit_ring(6), Ineligible::Directed),
+            (
+                {
+                    let mut b = GraphBuilder::new(4);
+                    b.add_undirected(0, 1, 1.0);
+                    b.add_undirected(2, 3, 1.0);
+                    b.build()
+                },
+                Ineligible::Disconnected { components: 2 },
+            ),
+        ];
+        for (g, want) in cases {
+            match reg.solve("seidel", &g, &opts) {
+                Err(SolveError::Ineligible { solver: "seidel", reason }) => {
+                    assert_eq!(reason, want)
+                }
+                other => panic!("expected {want:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn johnson_surfaces_negative_cycles_as_typed_error() {
+        let reg = Registry::with_all();
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, -3.0).add_edge(2, 1, 1.0);
+        match reg.solve("johnson", &b.build(), &SolveOpts::default()) {
+            Err(SolveError::NegativeCycle) => {}
+            other => panic!("expected NegativeCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_zero_makes_everything_ineligible() {
+        let reg = Registry::with_all();
+        let g = unit_fixture(12, 4, 3);
+        let opts = SolveOpts { memory_budget: Some(0), ..Default::default() };
+        let plan = reg.plan(&g, &opts);
+        assert!(plan.chosen.is_none());
+        assert!(plan
+            .entries
+            .iter()
+            .all(|e| matches!(e.outcome, Err(Ineligible::MemoryBudget { .. }))));
+        match reg.solve_auto(&g, &opts) {
+            Err(SolveError::NoEligibleSolver) => {}
+            other => panic!("expected NoEligibleSolver, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn planner_flips_between_sparse_and_dense_families() {
+        let reg = Registry::with_all();
+        let opts = SolveOpts::default();
+        // The packed dense engine sustains ~45 Gflop/s, so the measured
+        // crossover sits near n ≈ 4k: below it dense FW wins even on grids.
+        let small_grid = generators::grid(16, 16, WeightKind::small_ints(), 2);
+        let small_pick = reg.plan(&small_grid, &opts).chosen.expect("small grid plan");
+        assert!(["blocked", "dc"].contains(&small_pick), "small grid chose {small_pick}");
+        // road-like 64×64 grid (n = 4096): an SSSP sweep beats cubic work
+        let grid = generators::grid(64, 64, WeightKind::small_ints(), 2);
+        let sparse_pick = reg.plan(&grid, &opts).chosen.expect("grid plan");
+        assert!(
+            ["dijkstra", "delta", "johnson", "sparse"].contains(&sparse_pick),
+            "grid chose {sparse_pick}"
+        );
+        // uniform dense at the same n = 4096 (profile synthesized — building
+        // the 16.7M-edge graph in a debug test is pointless): packed FW wins
+        let n = 4096_usize;
+        let dense_profile = GraphProfile {
+            n,
+            m: n * (n - 1),
+            density: 1.0,
+            min_weight: 1.0,
+            max_weight: 9.0,
+            mean_weight: 5.0,
+            negative_edges: 0,
+            unit_weights: false,
+            symmetric: false,
+            weak_components: 1,
+            block_size: opts.block,
+            nnz_blocks: n.div_ceil(opts.block).pow(2),
+            block_density: 1.0,
+            dense_bytes: (n * n * 4) as u64,
+        };
+        let dense_pick =
+            reg.plan_for_profile(dense_profile, &opts).chosen.expect("dense plan");
+        assert!(["blocked", "dc"].contains(&dense_pick), "dense chose {dense_pick}");
+        assert_ne!(sparse_pick, dense_pick, "planner must flip between families");
+        // ring with chords at n = 4096: sparsest family, Δ-stepping's
+        // heap-free sweep is the clear pick (measured 2.8× over blocked)
+        let ring = generators::ring_with_chords(4096, WeightKind::small_ints(), 3);
+        let ring_pick = reg.plan(&ring, &opts).chosen.expect("ring plan");
+        assert_eq!(ring_pick, "delta", "ring chose {ring_pick}");
+    }
+
+    #[test]
+    fn plan_render_explains_eligibility_and_choice() {
+        let reg = Registry::with_all();
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0).add_edge(1, 2, -1.5).add_edge(2, 3, 2.0).add_edge(3, 0, 5.0);
+        let plan = reg.plan(&b.build(), &SolveOpts::default());
+        let text = plan.render();
+        assert!(text.contains("graph profile"), "{text}");
+        assert!(text.contains("dijkstra  ineligible: negative weights"), "{text}");
+        assert!(text.contains("never auto-selected"), "{text}"); // dist row
+        assert!(text.contains("chosen: "), "{text}");
+        // negative weights: only the FW family and johnson remain eligible
+        assert!(["blocked", "dc", "fw", "sparse", "johnson"].contains(&plan.chosen.unwrap()));
+    }
+
+    #[test]
+    fn solve_auto_returns_plan_and_matching_solution() {
+        let reg = Registry::with_all();
+        let g = generators::grid(6, 6, WeightKind::small_ints(), 11);
+        let (plan, sol) = reg.solve_auto(&g, &SolveOpts { block: 8, ..Default::default() }).unwrap();
+        assert_eq!(Some(sol.solver), plan.chosen);
+        assert!(sol.dist.eq_exact(&reference(&g)));
+        // registry.solve("auto", ...) is the same path
+        let sol2 = reg.solve("auto", &g, &SolveOpts { block: 8, ..Default::default() }).unwrap();
+        assert_eq!(sol2.solver, sol.solver);
+    }
+
+    #[test]
+    fn thread_cap_is_respected_by_dense_solvers() {
+        // correctness under an explicit cap: same matrix, any thread count
+        let g = generators::uniform_dense(48, WeightKind::small_ints(), 5);
+        let want = reference(&g);
+        let reg = Registry::with_all();
+        for threads in [1, 2, 3] {
+            for name in ["blocked", "dc", "johnson", "dijkstra", "delta"] {
+                let opts = SolveOpts { block: 8, threads, ..Default::default() };
+                let sol = reg.solve(name, &g, &opts).unwrap();
+                assert!(sol.dist.eq_exact(&want), "{name} threads={threads}");
+                assert_eq!(sol.stats.threads, threads);
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Unified solver layer: every APSP algorithm in the workspace behind one
+//! trait, one registry, and one planner.
+//!
+//! The paper's pipeline is a single dense engine; real workloads are not
+//! uniformly dense. This module gives each algorithm — dense packed FW,
+//! blocked/divide-and-conquer FW, block-sparse FW, Johnson, per-source
+//! Dijkstra and Δ-stepping sweeps, Seidel, and the simulated distributed
+//! driver — a common [`Solver`] surface: a typed eligibility `check`
+//! ([`Ineligible`]), a cost `estimate` fed by a one-pass [`GraphProfile`],
+//! and a `solve` returning a [`Solution`] with per-solver stats. The
+//! [`planner`] scores every registered solver and returns an explainable
+//! [`Plan`] (`apsp plan`, `--algo auto`). See DESIGN.md §13.
+
+pub mod adapters;
+pub mod planner;
+pub mod profile;
+
+use std::time::Instant;
+
+use apsp_graph::Graph;
+use srgemm::Matrix;
+
+use crate::dist::{DistError, DistRunOpts, FwConfig, Variant};
+
+pub use planner::{Plan, PlanEntry};
+pub use profile::GraphProfile;
+
+/// Shared knobs every solver draws from. One `SolveOpts` is built per CLI
+/// invocation (or per test) and handed unchanged to profile, planner, and
+/// solver, so all three agree on block size and thread budget.
+#[derive(Clone, Debug)]
+pub struct SolveOpts {
+    /// Block size for the tiled solvers (blocked/dc/sparse/dist).
+    pub block: usize,
+    /// Worker cap for parallel solvers; `0` → all cores (the
+    /// `budget_threads` convention from DESIGN.md §10).
+    pub threads: usize,
+    /// Optional working-set ceiling in bytes; solvers whose estimated
+    /// working set exceeds it become [`Ineligible::MemoryBudget`].
+    pub memory_budget: Option<u64>,
+    /// `(pr, pc)` process grid for the distributed solver.
+    pub grid: (usize, usize),
+    /// Policy axes for the distributed solver (its `block` field is
+    /// overridden by [`SolveOpts::block`] at solve time).
+    pub dist: FwConfig,
+    /// Simulated-runtime knobs (faults, recv timeout) for the distributed
+    /// solver.
+    pub dist_run: DistRunOpts,
+}
+
+impl Default for SolveOpts {
+    fn default() -> Self {
+        SolveOpts {
+            block: 64,
+            threads: 0,
+            memory_budget: None,
+            grid: (2, 2),
+            dist: FwConfig::new(64, Variant::Pipelined),
+            dist_run: DistRunOpts::default(),
+        }
+    }
+}
+
+impl SolveOpts {
+    /// Defaults with a specific block size.
+    pub fn with_block(block: usize) -> Self {
+        SolveOpts { block, ..Default::default() }
+    }
+
+    /// The concrete worker count `threads = 0` resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Why a solver refuses a particular graph — typed, so callers (and the
+/// planner's rendering) can react to the reason rather than parse a string.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ineligible {
+    /// The algorithm requires non-negative weights (Dijkstra, Δ-stepping).
+    NegativeWeights {
+        /// How many negative edges the profile counted.
+        count: usize,
+        /// The most negative weight seen.
+        min: f32,
+    },
+    /// The algorithm computes hop counts, so weights must all be `1`.
+    NonUnitWeights,
+    /// The algorithm requires an undirected (symmetric) graph.
+    Directed,
+    /// The algorithm requires a single connected component.
+    Disconnected {
+        /// Weak components the profile found.
+        components: usize,
+    },
+    /// Estimated working set exceeds [`SolveOpts::memory_budget`].
+    MemoryBudget {
+        /// Bytes the solver would need.
+        required: u64,
+        /// The configured ceiling.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for Ineligible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ineligible::NegativeWeights { count, min } => {
+                write!(f, "negative weights ({count} edges, min {min})")
+            }
+            Ineligible::NonUnitWeights => write!(f, "weights are not all 1"),
+            Ineligible::Directed => write!(f, "graph is directed (asymmetric)"),
+            Ineligible::Disconnected { components } => {
+                write!(f, "graph is disconnected ({components} weak components)")
+            }
+            Ineligible::MemoryBudget { required, budget } => write!(
+                f,
+                "working set {} exceeds budget {}",
+                profile::human_bytes(*required),
+                profile::human_bytes(*budget)
+            ),
+        }
+    }
+}
+
+/// Errors out of the solver layer.
+#[derive(Debug)]
+pub enum SolveError {
+    /// The named solver cannot handle this graph, and why.
+    Ineligible {
+        /// Solver that refused.
+        solver: &'static str,
+        /// The typed reason.
+        reason: Ineligible,
+    },
+    /// A negative cycle makes shortest paths undefined (Johnson).
+    NegativeCycle,
+    /// The simulated distributed runtime failed.
+    Dist(DistError),
+    /// No registered solver answers to this name.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every canonical name the registry does know.
+        known: Vec<&'static str>,
+    },
+    /// The planner found no eligible solver (e.g. the memory budget
+    /// excludes everything).
+    NoEligibleSolver,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Ineligible { solver, reason } => {
+                write!(f, "{solver}: ineligible, {reason}")
+            }
+            SolveError::NegativeCycle => write!(f, "graph contains a negative cycle"),
+            SolveError::Dist(e) => write!(f, "dist: {e}"),
+            SolveError::UnknownSolver { name, known } => {
+                write!(f, "unknown algorithm '{name}' (known: {}, auto)", known.join(", "))
+            }
+            SolveError::NoEligibleSolver => write!(f, "no eligible solver for this graph"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// What a solver reports about its own run.
+#[derive(Clone, Debug, Default)]
+pub struct SolverStats {
+    /// Wall-clock seconds of the `solve` call (filled by the registry).
+    pub wall_s: f64,
+    /// Workers the solver actually used (1 for serial solvers).
+    pub threads: usize,
+    /// Human-readable detail lines for the CLI to print.
+    pub notes: Vec<String>,
+    /// Machine-readable counters (`("block_gemms", 512.0)`, …).
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+/// A solved instance: the distance matrix plus provenance.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// All-pairs distances; `INF` where unreachable.
+    pub dist: Matrix<f32>,
+    /// Canonical name of the solver that produced it.
+    pub solver: &'static str,
+    /// Run statistics.
+    pub stats: SolverStats,
+}
+
+/// A cost forecast from [`Solver::estimate`].
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Predicted wall-clock seconds.
+    pub seconds: f64,
+    /// The formula behind the number, for `apsp plan`.
+    pub detail: String,
+}
+
+/// One APSP algorithm behind the common surface. Implementations live in
+/// [`adapters`]; user code goes through [`Registry`].
+pub trait Solver: Send + Sync {
+    /// Canonical name (`--algo` value).
+    fn name(&self) -> &'static str;
+
+    /// Alternate `--algo` spellings that resolve to this solver.
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// One-line description for `apsp plan` and help text.
+    fn description(&self) -> &'static str;
+
+    /// Algorithmic eligibility on this graph (shape/sign requirements).
+    /// Memory-budget screening is layered on top by [`Solver::eligible`].
+    fn check(&self, _profile: &GraphProfile, _opts: &SolveOpts) -> Result<(), Ineligible> {
+        Ok(())
+    }
+
+    /// Estimated peak bytes the solver touches on this graph.
+    fn working_set_bytes(&self, profile: &GraphProfile, opts: &SolveOpts) -> u64;
+
+    /// Cost forecast from the profile (never runs the solver).
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate;
+
+    /// `Some(reason)` if the planner must never auto-select this solver
+    /// even when eligible (e.g. the simulated distributed runtime).
+    fn auto_excluded(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Run the algorithm. `stats.wall_s` is filled by the caller.
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError>;
+
+    /// [`Solver::check`] plus the uniform memory-budget screen.
+    fn eligible(&self, profile: &GraphProfile, opts: &SolveOpts) -> Result<(), Ineligible> {
+        self.check(profile, opts)?;
+        if let Some(budget) = opts.memory_budget {
+            let required = self.working_set_bytes(profile, opts);
+            if required > budget {
+                return Err(Ineligible::MemoryBudget { required, budget });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The set of known solvers; the single dispatch point for the CLI, the
+/// perf suite, and the oracle tests.
+pub struct Registry {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_all()
+    }
+}
+
+impl Registry {
+    /// Every solver in the workspace, in presentation order.
+    pub fn with_all() -> Registry {
+        Registry { solvers: adapters::all() }
+    }
+
+    /// Iterate the registered solvers.
+    pub fn solvers(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Canonical names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Resolve a name or alias.
+    pub fn get(&self, name: &str) -> Result<&dyn Solver, SolveError> {
+        self.solvers()
+            .find(|s| s.name() == name || s.aliases().contains(&name))
+            .ok_or_else(|| SolveError::UnknownSolver { name: name.to_string(), known: self.names() })
+    }
+
+    /// Profile the graph, check eligibility, run the named solver, and
+    /// stamp the wall clock. `"auto"` delegates to [`Registry::solve_auto`].
+    pub fn solve(&self, name: &str, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        if name == "auto" {
+            return self.solve_auto(g, opts).map(|(_, sol)| sol);
+        }
+        let solver = self.get(name)?;
+        let profile = GraphProfile::compute(g, opts.block);
+        solver
+            .eligible(&profile, opts)
+            .map_err(|reason| SolveError::Ineligible { solver: solver.name(), reason })?;
+        let t0 = Instant::now();
+        let mut sol = solver.solve(g, opts)?;
+        sol.stats.wall_s = t0.elapsed().as_secs_f64();
+        Ok(sol)
+    }
+
+    /// Score every solver on this graph and return the explainable plan.
+    pub fn plan(&self, g: &Graph, opts: &SolveOpts) -> Plan {
+        self.plan_for_profile(GraphProfile::compute(g, opts.block), opts)
+    }
+
+    /// [`Registry::plan`] when the profile is already in hand.
+    pub fn plan_for_profile(&self, profile: GraphProfile, opts: &SolveOpts) -> Plan {
+        planner::plan(self, profile, opts)
+    }
+
+    /// Plan, then run the chosen solver. Errors with
+    /// [`SolveError::NoEligibleSolver`] when the plan is empty.
+    pub fn solve_auto(&self, g: &Graph, opts: &SolveOpts) -> Result<(Plan, Solution), SolveError> {
+        let plan = self.plan(g, opts);
+        let chosen = plan.chosen.ok_or(SolveError::NoEligibleSolver)?;
+        let sol = self.solve(chosen, g, opts)?;
+        Ok((plan, sol))
+    }
+}

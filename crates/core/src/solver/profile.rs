@@ -1,0 +1,257 @@
+//! Graph feature profile: everything the planner needs to pick a solver,
+//! computed in one pass over the edges (plus one BFS for component count).
+
+use std::collections::HashSet;
+
+use apsp_graph::components::weak_components;
+use apsp_graph::Graph;
+
+/// Structural and numeric features of a graph, extracted once and shared by
+/// every solver's eligibility check and cost estimate. All edge-derived
+/// fields come from a single `O(m)` sweep (the structural-symmetry probe
+/// adds a binary search per edge, `O(m log d_max)`); the component count is
+/// one BFS, `O(n + m)`.
+#[derive(Clone, Debug)]
+pub struct GraphProfile {
+    /// Vertex count.
+    pub n: usize,
+    /// Directed edge count (after CSR dedup).
+    pub m: usize,
+    /// `m / (n·(n−1))` — fraction of possible directed edges present.
+    pub density: f64,
+    /// Smallest edge weight (`0` when there are no edges).
+    pub min_weight: f32,
+    /// Largest edge weight (`0` when there are no edges).
+    pub max_weight: f32,
+    /// Mean edge weight (`0` when there are no edges).
+    pub mean_weight: f64,
+    /// Any `w < 0` edge present — disqualifies Dijkstra and Δ-stepping.
+    pub negative_edges: usize,
+    /// Every weight equals `1.0` — a hop-count instance (Seidel territory).
+    pub unit_weights: bool,
+    /// For every edge `(u,v,w)` the edge `(v,u,w)` also exists — the graph
+    /// is undirected in structure *and* weight.
+    pub symmetric: bool,
+    /// Weakly-connected component count (`0` for the empty graph).
+    pub weak_components: usize,
+    /// Block size the block-occupancy fields below were measured at.
+    pub block_size: usize,
+    /// Blocks of the `block_size`-tiled distance matrix holding at least
+    /// one edge or diagonal entry — the block-sparse solver's input size.
+    pub nnz_blocks: usize,
+    /// `nnz_blocks / nb²`.
+    pub block_density: f64,
+    /// Bytes of one dense `n×n` f32 distance matrix.
+    pub dense_bytes: u64,
+}
+
+impl GraphProfile {
+    /// Profile `g`, measuring block occupancy at block size `block`.
+    pub fn compute(g: &Graph, block: usize) -> GraphProfile {
+        let block = block.max(1);
+        let n = g.n();
+        let m = g.m();
+        let nb = n.div_ceil(block);
+
+        let mut min_weight = f32::INFINITY;
+        let mut max_weight = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut negative_edges = 0usize;
+        let mut unit_weights = true;
+        let mut symmetric = true;
+        // diagonal blocks always materialize (zero-seeded diagonal)
+        let mut blocks: HashSet<(u32, u32)> = (0..nb as u32).map(|k| (k, k)).collect();
+
+        for (u, v, w) in g.edges() {
+            min_weight = min_weight.min(w);
+            max_weight = max_weight.max(w);
+            sum += w as f64;
+            if w < 0.0 {
+                negative_edges += 1;
+            }
+            if w != 1.0 {
+                unit_weights = false;
+            }
+            if symmetric && g.weight(v, u) != w {
+                symmetric = false;
+            }
+            blocks.insert(((u / block) as u32, (v / block) as u32));
+        }
+        if m == 0 {
+            min_weight = 0.0;
+            max_weight = 0.0;
+            unit_weights = false;
+        }
+
+        let (_, weak_components) = weak_components(g);
+        let nnz_blocks = if n == 0 { 0 } else { blocks.len() };
+        GraphProfile {
+            n,
+            m,
+            density: if n > 1 { m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+            min_weight,
+            max_weight,
+            mean_weight: if m > 0 { sum / m as f64 } else { 0.0 },
+            negative_edges,
+            unit_weights,
+            symmetric,
+            weak_components,
+            block_size: block,
+            nnz_blocks,
+            block_density: if nb > 0 { nnz_blocks as f64 / (nb as f64 * nb as f64) } else { 0.0 },
+            dense_bytes: (n as u64) * (n as u64) * 4,
+        }
+    }
+
+    /// Any negative-weight edge?
+    pub fn has_negative(&self) -> bool {
+        self.negative_edges > 0
+    }
+
+    /// Exactly one weak component (and non-empty)?
+    pub fn connected(&self) -> bool {
+        self.weak_components == 1
+    }
+
+    /// Crude forecast of the fraction of dense block-GEMM work the
+    /// block-sparse solver will perform: fill-in grows occupancy toward
+    /// `√block_density → 1` on connected graphs, while disconnected
+    /// components bound it by `1/c²` (fill never crosses components, and
+    /// each component's cube shrinks as `(1/c)³` summed over `c` columns of
+    /// the elimination). Calibration, not a theorem — see DESIGN.md §13.
+    pub fn est_fill_work_ratio(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let c = self.weak_components.max(1) as f64;
+        (self.block_density.sqrt() / (c * c)).clamp(self.block_density.min(1.0), 1.0)
+    }
+
+    /// Human-readable multi-line summary (the header of `apsp plan`).
+    pub fn render(&self) -> String {
+        let sign = if self.has_negative() {
+            format!("{} negative edges", self.negative_edges)
+        } else {
+            "non-negative".to_string()
+        };
+        let unit = if self.unit_weights { "unit" } else { "non-unit" };
+        let shape = if self.symmetric { "symmetric" } else { "directed" };
+        let nb = self.n.div_ceil(self.block_size);
+        format!(
+            "graph profile\n  n = {}  m = {}  density {:.3}%\n  weights: [{}, {}]  mean {:.2}  \
+             {sign}  {unit}\n  structure: {shape}, {} weak component{}\n  blocks (b = {}): \
+             {}/{} materialized ({:.1}%)\n  dense working set: {}\n",
+            self.n,
+            self.m,
+            self.density * 100.0,
+            self.min_weight,
+            self.max_weight,
+            self.mean_weight,
+            self.weak_components,
+            if self.weak_components == 1 { "" } else { "s" },
+            self.block_size,
+            self.nnz_blocks,
+            nb * nb,
+            self.block_density * 100.0,
+            human_bytes(self.dense_bytes),
+        )
+    }
+}
+
+/// `1536 → "1.5 KiB"` — for profile and plan rendering.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+    use apsp_graph::GraphBuilder;
+
+    #[test]
+    fn dense_uniform_profile() {
+        let g = generators::uniform_dense(32, WeightKind::small_ints(), 3);
+        let p = GraphProfile::compute(&g, 8);
+        assert_eq!(p.n, 32);
+        assert_eq!(p.m, 32 * 31);
+        assert!((p.density - 1.0).abs() < 1e-9);
+        assert!(!p.has_negative());
+        assert!(!p.unit_weights);
+        assert!(!p.symmetric); // independent random weights per direction
+        assert_eq!(p.weak_components, 1);
+        assert_eq!(p.nnz_blocks, 16); // every block occupied
+        assert_eq!(p.block_density, 1.0);
+        assert_eq!(p.dense_bytes, 32 * 32 * 4);
+    }
+
+    #[test]
+    fn grid_profile_is_sparse_symmetric_and_banded() {
+        let g = generators::grid(8, 8, WeightKind::small_ints(), 5);
+        let p = GraphProfile::compute(&g, 16);
+        assert!(p.density < 0.06, "grid density {}", p.density);
+        assert!(p.symmetric);
+        assert!(p.connected());
+        assert!(p.block_density < 1.0);
+        assert!(p.est_fill_work_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn negative_and_unit_weight_detection() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, -2.5).add_edge(2, 3, 1.0);
+        let p = GraphProfile::compute(&b.build(), 2);
+        assert_eq!(p.negative_edges, 1);
+        assert!(p.has_negative());
+        assert!(!p.unit_weights);
+        assert_eq!(p.min_weight, -2.5);
+
+        let g = generators::unit_ring(6);
+        let p = GraphProfile::compute(&g, 2);
+        assert!(p.unit_weights);
+        assert!(!p.symmetric); // the ring is directed
+    }
+
+    #[test]
+    fn multi_component_count_and_fill_discount() {
+        let g = generators::multi_component(24, 3, WeightKind::small_ints(), 7);
+        let p = GraphProfile::compute(&g, 4);
+        assert_eq!(p.weak_components, 3);
+        assert!(!p.connected());
+        let connected = generators::uniform_dense(24, WeightKind::small_ints(), 7);
+        let pc = GraphProfile::compute(&connected, 4);
+        assert!(p.est_fill_work_ratio() < pc.est_fill_work_ratio());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_do_not_divide_by_zero() {
+        let p = GraphProfile::compute(&GraphBuilder::new(0).build(), 8);
+        assert_eq!(p.n, 0);
+        assert_eq!(p.nnz_blocks, 0);
+        assert_eq!(p.est_fill_work_ratio(), 0.0);
+        let p = GraphProfile::compute(&GraphBuilder::new(5).build(), 8);
+        assert_eq!(p.m, 0);
+        assert_eq!(p.mean_weight, 0.0);
+        assert!(!p.unit_weights);
+        assert!(p.symmetric); // vacuously
+        assert_eq!(p.weak_components, 5);
+        assert!(!p.render().is_empty());
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(4 * 1024 * 1024), "4.0 MiB");
+    }
+}

@@ -81,6 +81,19 @@ pub fn delta_stepping(g: &Graph, src: usize, delta: f32) -> Vec<f32> {
     dist
 }
 
+/// All-pairs by one Δ-stepping sweep per source, fanned out over at most
+/// `threads` workers (`0` → all cores, the `budget_threads` convention).
+/// Requires non-negative weights and positive `delta`.
+pub fn apsp_by_delta_stepping(g: &Graph, delta: f32, threads: usize) -> srgemm::Matrix<f32> {
+    let n = g.n();
+    let rows = crate::par_rows(n, threads, |s| delta_stepping(g, s, delta));
+    let mut out = srgemm::Matrix::filled(n, n, INF);
+    for (s, row) in rows.into_iter().enumerate() {
+        out.row_mut(s).copy_from_slice(&row);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +130,17 @@ mod tests {
     fn rejects_zero_delta() {
         let g = generators::unit_ring(3);
         delta_stepping(&g, 0, 0.0);
+    }
+
+    #[test]
+    fn apsp_sweep_matches_per_source_calls_for_any_thread_count() {
+        let g = generators::erdos_renyi(22, 0.25, WeightKind::small_ints(), 13);
+        let mut want = srgemm::Matrix::filled(22, 22, INF);
+        for s in 0..22 {
+            want.row_mut(s).copy_from_slice(&delta_stepping(&g, s, 9.0));
+        }
+        for threads in [0, 1, 3] {
+            assert!(apsp_by_delta_stepping(&g, 9.0, threads).eq_exact(&want), "threads={threads}");
+        }
     }
 }

@@ -91,9 +91,15 @@ pub fn apsp_by_dijkstra(g: &Graph) -> srgemm::Matrix<f32> {
 /// embarrassingly parallel Johnson-style APSP the paper's related work (§6)
 /// compares against. Requires non-negative weights.
 pub fn apsp_by_dijkstra_parallel(g: &Graph) -> srgemm::Matrix<f32> {
-    use rayon::prelude::*;
+    apsp_by_dijkstra_threads(g, 0)
+}
+
+/// [`apsp_by_dijkstra_parallel`] capped at `threads` workers (`0` → all
+/// cores, the `budget_threads` convention). Rows are bit-identical to the
+/// serial sweep for any thread count.
+pub fn apsp_by_dijkstra_threads(g: &Graph, threads: usize) -> srgemm::Matrix<f32> {
     let n = g.n();
-    let rows: Vec<Vec<f32>> = (0..n).into_par_iter().map(|s| dijkstra(g, s)).collect();
+    let rows = crate::par_rows(n, threads, |s| dijkstra(g, s));
     let mut out = srgemm::Matrix::filled(n, n, INF);
     for (s, row) in rows.into_iter().enumerate() {
         out.row_mut(s).copy_from_slice(&row);

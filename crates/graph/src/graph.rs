@@ -71,6 +71,16 @@ impl Graph {
         d
     }
 
+    /// Block-sparse distance-matrix form for the block-sparse
+    /// Floyd-Warshall solver: only blocks holding an edge (plus every
+    /// diagonal block, seeded `D[i][i] = min(0, w(i,i))`) are materialized.
+    /// Equivalent to [`Graph::to_dense`] followed by
+    /// `BlockSparseMatrix::from_dense`, without the `O(n²)` dense detour —
+    /// and the diagonal seeding callers used to hand-roll happens here.
+    pub fn to_block_sparse(&self, b: usize) -> srgemm::block_sparse::BlockSparseMatrix<f32> {
+        srgemm::block_sparse::BlockSparseMatrix::from_entries(self.n, b, INF, 0.0, self.edges())
+    }
+
     /// Rebuild a graph from a dense matrix (entries `< ∞`, off-diagonal,
     /// become edges). Inverse of [`Graph::to_dense`] up to implied zero
     /// diagonals.
@@ -230,5 +240,19 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_endpoint() {
         GraphBuilder::new(2).add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    fn block_sparse_form_matches_dense_form() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 6, 4.0).add_edge(6, 1, 2.0).add_undirected(2, 3, 0.5);
+        b.add_edge(4, 4, -1.0); // negative self-loop survives the min
+        let g = b.build();
+        let sp = g.to_block_sparse(3);
+        assert!(sp.to_dense().eq_exact(&g.to_dense()));
+        // diagonal blocks always materialize; off-diagonal only where edges live
+        assert!(sp.nnz_blocks() >= 3);
+        assert_eq!(sp.get(4, 4), -1.0);
+        assert_eq!(sp.get(5, 0), INF);
     }
 }

@@ -18,8 +18,18 @@ pub enum JohnsonError {
     NegativeCycle,
 }
 
-/// All-pairs distance matrix by Johnson's algorithm.
+/// All-pairs distance matrix by Johnson's algorithm (serial).
 pub fn johnson_apsp(g: &Graph) -> Result<Matrix<f32>, JohnsonError> {
+    johnson_apsp_threads(g, 1)
+}
+
+/// [`johnson_apsp`] with the Dijkstra sweep parallelized over sources via
+/// the rayon shim, capped at `threads` workers (`0` → all cores; this is
+/// the `budget_threads` convention, so callers sharing the machine can pass
+/// their budget straight through). Every source's row is produced by the
+/// same code path in the same float-op order as the serial sweep, so the
+/// result is bit-identical for any thread count.
+pub fn johnson_apsp_threads(g: &Graph, threads: usize) -> Result<Matrix<f32>, JohnsonError> {
     let n = g.n();
     if n == 0 {
         return Ok(Matrix::filled(0, 0, INF));
@@ -47,17 +57,28 @@ pub fn johnson_apsp(g: &Graph) -> Result<Matrix<f32>, JohnsonError> {
     }
     let rw = rw.build();
 
+    let rows = crate::par_rows(n, threads, |s| johnson_row(&rw, &h, s));
     let mut out = Matrix::filled(n, n, INF);
-    for s in 0..n {
-        let d = dijkstra(&rw, s);
-        for t in 0..n {
-            if d[t] < INF {
-                out[(s, t)] = d[t] - h[s] + h[t];
-            }
-        }
-        out[(s, s)] = out[(s, s)].min(0.0);
+    for (s, row) in rows.into_iter().enumerate() {
+        out.row_mut(s).copy_from_slice(&row);
     }
     Ok(out)
+}
+
+/// One source's distance row: Dijkstra on the reweighted graph, shifted
+/// back through the potentials. Shared verbatim by the serial and parallel
+/// sweeps (that is what makes them bit-identical).
+fn johnson_row(rw: &Graph, h: &[f32], s: usize) -> Vec<f32> {
+    let n = rw.n();
+    let d = dijkstra(rw, s);
+    let mut row = vec![INF; n];
+    for t in 0..n {
+        if d[t] < INF {
+            row[t] = d[t] - h[s] + h[t];
+        }
+    }
+    row[s] = row[s].min(0.0);
+    row
 }
 
 #[cfg(test)]
@@ -108,5 +129,38 @@ mod tests {
         let g = GraphBuilder::new(0).build();
         let got = johnson_apsp(&g).unwrap();
         assert_eq!(got.rows(), 0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        // negative edges included: the potential shift h[s]/h[t] is live
+        let mut b = GraphBuilder::new(30);
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for i in 0..29 {
+            b.add_edge(i, i + 1, ((next() % 100) as f32) / 7.0 - 1.0);
+        }
+        for _ in 0..60 {
+            let (u, v) = ((next() % 30) as usize, (next() % 30) as usize);
+            if u < v {
+                b.add_edge(u, v, ((next() % 100) as f32) / 7.0 - 1.0);
+            }
+        }
+        let g = b.build();
+        let serial = johnson_apsp(&g).unwrap();
+        for threads in [0, 2, 3, 7] {
+            let par = johnson_apsp_threads(&g, threads).unwrap();
+            assert!(serial.eq_exact(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_propagates_negative_cycle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, -3.0).add_edge(2, 1, 1.0);
+        assert_eq!(johnson_apsp_threads(&b.build(), 4), Err(JohnsonError::NegativeCycle));
     }
 }

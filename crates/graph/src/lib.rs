@@ -28,16 +28,38 @@ pub mod seidel;
 
 pub use graph::{Graph, GraphBuilder, INF};
 
+/// Map `0..n` to rows with at most `threads` workers (`0` → all cores),
+/// preserving order. The single shared fan-out for every
+/// one-task-per-source APSP sweep (Johnson, Dijkstra, Δ-stepping): `f` runs
+/// identically whether the sweep is serial or parallel, so results are
+/// bit-identical for any thread count.
+pub(crate) fn par_rows<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    use rayon::prelude::*;
+    let threads = if threads == 0 { rayon::current_num_threads() } else { threads };
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("shim pool");
+    pool.install(|| (0..n).into_par_iter().map(f).collect())
+}
+
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::bellman_ford::bellman_ford;
     pub use crate::bfs::{apsp_by_bfs, bfs};
     pub use crate::components::{componentwise_apsp, weak_components};
-    pub use crate::delta_stepping::delta_stepping;
-    pub use crate::dijkstra::{dijkstra, dijkstra_with_parents};
+    pub use crate::delta_stepping::{apsp_by_delta_stepping, delta_stepping};
+    pub use crate::dijkstra::{
+        apsp_by_dijkstra, apsp_by_dijkstra_parallel, apsp_by_dijkstra_threads, dijkstra,
+        dijkstra_with_parents,
+    };
     pub use crate::generators::{self, GraphKind};
     pub use crate::graph::{Graph, GraphBuilder, INF};
-    pub use crate::johnson::johnson_apsp;
+    pub use crate::johnson::{johnson_apsp, johnson_apsp_threads};
     pub use crate::paths::{extract_path, path_length, validate_path};
     pub use crate::seidel::seidel_apsp;
 }

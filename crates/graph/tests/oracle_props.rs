@@ -71,6 +71,23 @@ proptest! {
     }
 
     #[test]
+    fn parallel_johnson_is_bit_identical_to_serial(
+        n in 2usize..40,
+        p in 0.05f64..0.6,
+        seed in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        // real (non-integer) weights on purpose: bit-identity must come from
+        // running the same float ops in the same order per source, not from
+        // integer exactness
+        let g = erdos_renyi(n, p, WeightKind::Real { lo: 0.1, hi: 10.0 }, seed);
+        let serial = johnson_apsp(&g).expect("non-negative");
+        let parallel = apsp_graph::johnson::johnson_apsp_threads(&g, threads)
+            .expect("non-negative");
+        prop_assert!(serial.eq_exact(&parallel), "threads={}", threads);
+    }
+
+    #[test]
     fn distances_satisfy_triangle_inequality(n in 2usize..30, p in 0.1f64..0.7, seed in any::<u64>()) {
         let g = erdos_renyi(n, p, WeightKind::small_ints(), seed);
         let apsp = johnson_apsp(&g).expect("non-negative");

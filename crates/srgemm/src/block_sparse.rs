@@ -144,6 +144,35 @@ impl<T: Copy + PartialEq> BlockSparseMatrix<T> {
         out
     }
 
+    /// Build from a coordinate entry list, seeding the whole diagonal with
+    /// `diag` first (materializing every diagonal block). Duplicate
+    /// coordinates keep the last write, except that a diagonal entry never
+    /// rises above its seed — the same `D[i][i] = min(diag, w(i,i))`
+    /// semantics as a dense distance matrix. This is the direct
+    /// graph-to-block-sparse path: no `O(n²)` dense detour, and callers no
+    /// longer hand-seed zero diagonals after `from_dense`.
+    pub fn from_entries<I>(n: usize, b: usize, zero: T, diag: T, entries: I) -> Self
+    where
+        T: PartialOrd,
+        I: IntoIterator<Item = (usize, usize, T)>,
+    {
+        let mut out = BlockSparseMatrix::new(n, b, zero);
+        for i in 0..n {
+            out.set(i, i, diag);
+        }
+        for (i, j, v) in entries {
+            if i == j {
+                let cur = out.get(i, i);
+                if v < cur {
+                    out.set(i, i, v);
+                }
+            } else {
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
     /// Build from a dense matrix, materializing only blocks with at least
     /// one non-`0̄` entry.
     pub fn from_dense(dense: &Matrix<T>, b: usize, zero: T) -> Self {
@@ -270,5 +299,47 @@ mod tests {
         m.set(1, 3, MP::zero());
         m.prune();
         assert_eq!(m.nnz_blocks(), 0);
+    }
+
+    #[test]
+    fn from_entries_seeds_every_diagonal_entry() {
+        let m = BlockSparseMatrix::from_entries(7, 3, INF, 0.0, std::iter::empty());
+        for i in 0..7 {
+            assert_eq!(m.get(i, i), 0.0);
+        }
+        // all 3 (ragged) diagonal blocks materialized, nothing else
+        assert_eq!(m.nnz_blocks(), 3);
+        assert_eq!(m.get(0, 6), INF);
+    }
+
+    #[test]
+    fn from_entries_diagonal_takes_min_with_seed() {
+        // positive self-loop never beats the zero seed; negative one wins —
+        // the same semantics as Graph::to_dense
+        let entries = vec![(0usize, 0usize, 5.0f32), (1, 1, -2.0), (0, 2, 1.5)];
+        let m = BlockSparseMatrix::from_entries(3, 2, INF, 0.0, entries);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 1), -2.0);
+        assert_eq!(m.get(0, 2), 1.5);
+    }
+
+    #[test]
+    fn from_entries_matches_seeded_from_dense() {
+        // the constructor replaces from_dense + manual zero-diagonal
+        // seeding; both routes must agree element-for-element
+        let entries = [(0usize, 4usize, 2.0f32), (4, 0, 3.0), (2, 3, 1.0)];
+        let mut dense = Matrix::filled(5, 5, INF);
+        for i in 0..5 {
+            dense[(i, i)] = 0.0;
+        }
+        for &(i, j, v) in &entries {
+            dense[(i, j)] = v;
+        }
+        let direct = BlockSparseMatrix::from_entries(5, 2, INF, 0.0, entries.iter().copied());
+        let mut via_dense = BlockSparseMatrix::from_dense(&dense, 2, INF);
+        for i in 0..5 {
+            via_dense.set(i, i, 0.0);
+        }
+        assert!(direct.to_dense().eq_exact(&via_dense.to_dense()));
     }
 }

@@ -14,6 +14,7 @@
 //! over huge ranges cost no memory. Only `map`/`collect` allocate — for
 //! their results, which is inherent.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 
@@ -21,11 +22,97 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParRange};
 }
 
-/// Number of worker threads parallel operations will use.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread (shim stand-in for running inside a sized pool).
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use: the size of the
+/// innermost [`ThreadPool::install`] scope on this thread, else the host
+/// parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    POOL_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Builder for a sized [`ThreadPool`] — the subset of rayon's
+/// `ThreadPoolBuilder` the workspace uses (`num_threads` + `build`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirrored from rayon; the shim's build never fails.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (host-parallelism) size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` workers (`0` → host parallelism, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finalize. The shim allocates no threads up front — the cap is
+    /// applied when a parallel operation runs under [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A sized scope for parallel operations. Unlike real rayon there is no
+/// resident worker pool: [`ThreadPool::install`] simply bounds how many
+/// scoped threads the shim's `for_each`/`map` fan out to while `op` runs on
+/// the calling thread.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count (`0` at build time resolves to the host
+    /// parallelism).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Run `op` with [`current_num_threads`] pinned to this pool's size on
+    /// the calling thread (restored on exit, panic-safe, nestable).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.current_num_threads())));
+        let _restore = Restore(prev);
+        op()
+    }
 }
 
 /// Entry point mirroring `rayon::iter::IntoParallelIterator`.
@@ -325,5 +412,43 @@ mod tests {
     fn range_collect_materializes_on_request() {
         let out: Vec<usize> = (3..7usize).into_par_iter().collect();
         assert_eq!(out, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn thread_pool_install_caps_and_restores_worker_count() {
+        let host = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 2);
+            // nested pools override and restore independently
+            let inner = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            inner.install(|| assert_eq!(crate::current_num_threads(), 1));
+            assert_eq!(crate::current_num_threads(), 2);
+        });
+        assert_eq!(crate::current_num_threads(), host);
+    }
+
+    #[test]
+    fn thread_pool_install_restores_on_panic() {
+        let host = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let result = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(crate::current_num_threads(), host);
+    }
+
+    #[test]
+    fn zero_threads_means_host_parallelism() {
+        let host = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), host);
+        pool.install(|| assert_eq!(crate::current_num_threads(), host));
+    }
+
+    #[test]
+    fn capped_map_still_covers_every_item_in_order() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..257usize).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out, (1..=257).collect::<Vec<_>>());
     }
 }
