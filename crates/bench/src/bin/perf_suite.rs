@@ -8,7 +8,7 @@
 //! `run` measures the GEMM kernels (incl. the headline packed-vs-blocked
 //! entry), blocked FW, the 2×2×2 distributed policy cube, and the headline
 //! baseline-vs-budgeted distributed run, and writes the `apsp-bench-perf/1`
-//! JSON to `--out` (default `BENCH_PR5.json`; `-` for stdout). Progress
+//! JSON to `--out` (default `BENCH_PR8.json`; `-` for stdout). Progress
 //! goes to stderr.
 //!
 //! `compare` diffs two suite files by entry name and exits non-zero when
@@ -41,7 +41,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> ExitCode {
     let mut mode = Mode::Full;
     let mut reps = 3usize;
-    let mut out = "BENCH_PR5.json".to_string();
+    let mut out = "BENCH_PR8.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -24,6 +24,7 @@
 
 pub mod json;
 pub mod perf;
+pub mod serve_load;
 
 /// Simple fixed-width table printer shared by the figure binaries.
 pub struct Table {

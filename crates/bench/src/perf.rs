@@ -41,7 +41,7 @@ pub const DEFAULT_THRESHOLD: f64 = 0.15;
 pub struct Entry {
     /// Stable identity (comparator join key); sizes go in `params`.
     pub name: String,
-    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`.
+    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`, `solver`, `serve`.
     pub group: String,
     /// Numeric parameters of the run (n, block, grid, …).
     pub params: Vec<(String, f64)>,
@@ -316,6 +316,8 @@ struct Sizes {
     solver_ring_n: usize,
     solver_dense_n: usize,
     solver_b: usize,
+    serve_n: usize,
+    serve_batches: usize,
 }
 
 fn sizes(mode: Mode) -> Sizes {
@@ -333,6 +335,8 @@ fn sizes(mode: Mode) -> Sizes {
             solver_ring_n: 4096,
             solver_dense_n: 512,
             solver_b: 64,
+            serve_n: 256,
+            serve_batches: 5000,
         },
         Mode::Quick => Sizes {
             gemm_n: 64,
@@ -347,6 +351,8 @@ fn sizes(mode: Mode) -> Sizes {
             solver_ring_n: 256,
             solver_dense_n: 128,
             solver_b: 16,
+            serve_n: 64,
+            serve_batches: 40,
         },
     }
 }
@@ -645,6 +651,29 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                 speedup: Some(baseline_wall_s / wall_s),
             });
         }
+    }
+
+    // --- serve layer: batched-query latency under update pressure ---------
+    // The load generator drives its own reader/writer threads and asserts
+    // epoch consistency while measuring, so these entries come from one run
+    // (reps would re-randomize the traffic, not re-time the same work).
+    eprintln!("[perf] serve load, n = {}, {} batches/reader", sz.serve_n, sz.serve_batches);
+    {
+        let cfg = crate::serve_load::LoadCfg {
+            n: sz.serve_n,
+            readers: 4,
+            batch: 32,
+            batches_per_reader: sz.serve_batches,
+            update_batch: 4,
+            bad_input: false,
+            seed: 42,
+        };
+        let r = crate::serve_load::run_inproc(&cfg);
+        eprintln!(
+            "  serve/load: p50 {:.1}us p99 {:.1}us, {} q/s, {} epochs, lag max {}",
+            r.p50_us, r.p99_us, r.qps as u64, r.epochs_published, r.epoch_lag_max
+        );
+        entries.extend(r.to_entries(""));
     }
 
     Report {

@@ -12,21 +12,38 @@ const HELP: &str = "apsp bench — wall-clock perf suite and regression comparat
 USAGE:
     apsp bench run [--quick] [--reps N] [--out FILE]
     apsp bench compare <OLD.json> <NEW.json> [--threshold PCT] [--report-only]
+    apsp bench serve-load [--n N] [--readers R] [--batch B] [--batches K]
+                          [--update-batch U] [--bad-input] [--seed S]
+                          [--connect ADDR] [--out FILE]
 
 RUN OPTIONS:
     --quick          CI-smoke sizes (seconds); default is the full suite
     --reps N         repetitions per entry, wall_s is the minimum [default: 3]
-    --out FILE       output path [default: BENCH_PR5.json]; '-' for stdout
+    --out FILE       output path [default: BENCH_PR8.json]; '-' for stdout
 
 COMPARE OPTIONS:
     --threshold PCT  regression threshold in percent [default: 15]
     --report-only    print the diff but never fail the exit code
 
+SERVE-LOAD OPTIONS:
+    --n N            vertices for the in-process engine [default: 256]
+    --readers R      concurrent reader threads/connections [default: 4]
+    --batch B        queries per dist batch [default: 32]
+    --batches K      batches per reader [default: 200]
+    --update-batch U edge decreases per writer batch [default: 4]
+    --bad-input      mix malformed updates in; require typed rejections
+    --seed S         traffic RNG seed [default: 42]
+    --connect ADDR   drive a running 'apsp serve --listen ADDR' over TCP
+                     instead of an in-process engine
+    --out FILE       write serve/* entries as apsp-bench-perf/1 JSON
+
 The suite measures the GEMM kernels (naive/blocked/packed/parallel x
 f32/f64), the headline packed-vs-blocked GEMM (baseline_wall_s vs wall_s),
 blocked Floyd-Warshall, distributed_apsp at all 8 corners of the
-(schedule x bcast x exec) cube, and the headline distributed run with its
-serial-OuterUpdate baseline (baseline_wall_s vs wall_s).";
+(schedule x bcast x exec) cube, the headline distributed run with its
+serial-OuterUpdate baseline (baseline_wall_s vs wall_s), the solver
+planner picks, and the serve-layer load generator (p50/p99 batched-query
+latency and epoch lag under update pressure).";
 
 /// Entry point for `apsp bench`.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -37,14 +54,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("run") => run_suite(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
-        _ => Err("usage: apsp bench <run|compare> (see 'apsp bench --help')".to_string()),
+        Some("serve-load") => run_serve_load(&args[1..]),
+        _ => Err("usage: apsp bench <run|compare|serve-load> (see 'apsp bench --help')".to_string()),
     }
 }
 
 fn run_suite(args: &[String]) -> Result<(), String> {
     let mut mode = Mode::Full;
     let mut reps = 3usize;
-    let mut out = "BENCH_PR5.json".to_string();
+    let mut out = "BENCH_PR8.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -66,6 +84,38 @@ fn run_suite(args: &[String]) -> Result<(), String> {
     } else {
         std::fs::write(&out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[perf] wrote {} entries to {out}", report.entries.len());
+    }
+    Ok(())
+}
+
+fn run_serve_load(argv: &[String]) -> Result<(), String> {
+    use apsp_bench::serve_load::{self, LoadCfg};
+    let args = crate::args::Args::parse(argv)?;
+    let cfg = LoadCfg {
+        n: args.opt("n", 256)?,
+        readers: args.opt("readers", 4)?,
+        batch: args.opt("batch", 32)?,
+        batches_per_reader: args.opt("batches", 200)?,
+        update_batch: args.opt("update-batch", 4)?,
+        bad_input: args.has_flag("bad-input"),
+        seed: args.opt("seed", 42)?,
+    };
+    if cfg.readers == 0 || cfg.batch == 0 || cfg.batches_per_reader == 0 {
+        return Err("--readers, --batch and --batches must be positive".into());
+    }
+    let (report, suffix) = match args.opt_str("connect") {
+        Some(addr) => (serve_load::run_tcp(addr, &cfg)?, "/tcp"),
+        None => (serve_load::run_inproc(&cfg), ""),
+    };
+    eprint!("{}", report.render());
+    if let Some(out) = args.opt_str("out") {
+        let text = report.to_json(suffix).pretty();
+        if out == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("serve-load: wrote {out}");
+        }
     }
     Ok(())
 }

@@ -5,6 +5,7 @@ pub mod generate;
 pub mod info;
 pub mod plan;
 pub mod route;
+pub mod serve;
 pub mod simulate;
 pub mod solve;
 

@@ -1,0 +1,157 @@
+//! `apsp serve` — stand up the epoch-snapshot query engine over a graph
+//! and speak the line protocol on stdin or TCP.
+//!
+//! The graph is solved once at startup (witness-annotated closure, so
+//! `path` queries work); after that every line is a batched request
+//! answered against a consistent epoch. Malformed input gets a typed
+//! `err …` line, never a crash — CI's `serve-smoke` job feeds this
+//! command garbage on purpose.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use apsp_core::serve::{handle_line, Engine};
+
+use crate::args::Args;
+
+const HELP: &str = "apsp serve — serve APSP queries over a solved graph
+
+USAGE:
+    apsp serve --input FILE [--format dimacs|edges] [--block N] [--listen ADDR]
+
+OPTIONS:
+    --input FILE     graph file to solve and serve (required)
+    --format FMT     file format override (default: by extension)
+    --block N        blocked-FW tile size for the startup solve [default: 64]
+    --listen ADDR    serve TCP on ADDR (e.g. 127.0.0.1:4711) instead of stdin
+
+PROTOCOL (one request per line; '#' starts a comment):
+    dist s t [s t ...]      batched point-to-point distances
+    many s t1 t2 ...        one source to many targets
+    path s t                distance plus the reconstructed route
+    update u v w [u v w..]  decrease-only edge batch; publishes a new epoch
+    epoch | info            current epoch / matrix size
+    quit                    close this connection (or stdin session)
+    shutdown                stop the whole server
+
+Replies are 'ok <epoch> …' or 'err <kind>: …'; rejected updates come back
+in-line as 'reject@<i>=<kind>' tokens. Bad input never kills the server.";
+
+/// Entry point for `apsp serve`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    let input: String = args.req("input")?;
+    let block: usize = args.opt("block", 64)?;
+    if block == 0 {
+        return Err("--block must be positive".into());
+    }
+
+    let g = super::load_graph(&input, args.opt_str("format"))?;
+    let t0 = Instant::now();
+    let engine = Arc::new(Engine::solve_from_graph(&g, block));
+    eprintln!(
+        "serve: solved {} (n = {}, m = {}) in {:.3} s; epoch 0 published",
+        input,
+        g.n(),
+        g.m(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    match args.opt_str("listen") {
+        Some(addr) => serve_tcp(engine, addr),
+        None => serve_stdin(&engine),
+    }
+}
+
+/// One request/response session over stdin/stdout. Returns whether the
+/// peer asked for a full shutdown (irrelevant here — both end the loop).
+fn serve_stdin(engine: &Engine) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let Some(reply) = handle_line(engine, &line) else { continue };
+        writeln!(out, "{}", reply.text).and_then(|_| out.flush()).map_err(|e| format!("stdout: {e}"))?;
+        if reply.close || reply.shutdown {
+            break;
+        }
+    }
+    eprintln!("serve: session closed");
+    Ok(())
+}
+
+fn serve_tcp(engine: Arc<Engine>, addr: &str) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    eprintln!("serve: listening on {local}");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut workers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept: {e}");
+                continue;
+            }
+        };
+        let engine = Arc::clone(&engine);
+        let conn_stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            if let Err(e) = serve_conn(&engine, stream, &conn_stop, local) {
+                eprintln!("serve: connection: {e}");
+            }
+        }));
+        // a shutdown handled on the connection we just spawned may have
+        // raced past the top-of-loop check; re-check before blocking in
+        // accept again (the handler wakes us with a dummy connection)
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    for w in workers {
+        w.join().ok();
+    }
+    eprintln!("serve: shut down");
+    Ok(())
+}
+
+fn serve_conn(
+    engine: &Engine,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    local: std::net::SocketAddr,
+) -> Result<(), String> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("recv: {e}"))?;
+        let Some(reply) = handle_line(engine, &line) else { continue };
+        writer
+            .write_all(reply.text.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        if reply.shutdown {
+            stop.store(true, Ordering::Release);
+            // wake the accept loop so it can observe the stop flag
+            TcpStream::connect(local).ok();
+            return Ok(());
+        }
+        if reply.close {
+            return Ok(());
+        }
+    }
+    Ok(())
+}

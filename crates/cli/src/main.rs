@@ -5,9 +5,11 @@
 //! apsp solve    --input g.gr --algo auto --block 64 --out dist.tsv
 //! apsp plan     --input g.gr
 //! apsp route    --input g.gr --from 0 --to 99
+//! apsp serve    --input g.gr --listen 127.0.0.1:4711
 //! apsp simulate --nodes 64 --n 300000 --variant async
 //! apsp info     --input g.gr
 //! apsp bench    run --quick --out bench.json
+//! apsp bench    serve-load --n 256 --readers 4 --out serve.json
 //! ```
 //!
 //! Run `apsp help` (or any subcommand with `--help`) for details.
@@ -36,6 +38,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "solve" => commands::solve::run(rest),
         "plan" => commands::plan::run(rest),
         "route" => commands::route::run(rest),
+        "serve" => commands::serve::run(rest),
         "simulate" => commands::simulate::run(rest),
         "info" => commands::info::run(rest),
         "bench" => commands::bench::run(rest),
@@ -59,6 +62,7 @@ COMMANDS:
     solve      compute APSP distances with a chosen algorithm (or --algo auto)
     plan       profile a graph and explain which solver 'auto' would pick
     route      print the shortest route between two vertices
+    serve      serve distance/path queries with streaming updates (stdin/TCP)
     simulate   predict a run on the calibrated Summit model
     info       print statistics of a graph file
     bench      run the wall-clock perf suite / diff two suite JSON files

@@ -15,19 +15,79 @@ use mpi_sim::{CommError, ProcessGrid};
 use srgemm::semiring::Semiring;
 
 use super::DistMatrix;
+use crate::incremental::IncrementalError;
+
+/// Failure modes of the distributed incremental update: the update itself
+/// can be malformed (typed, deterministic, detected on every rank before
+/// any message is sent), or a slice broadcast can break mid-flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistUpdateError {
+    /// The update was rejected by local validation; no rank communicated.
+    Update(IncrementalError),
+    /// A row/column slice broadcast failed.
+    Comm(CommError),
+}
+
+impl From<CommError> for DistUpdateError {
+    fn from(e: CommError) -> Self {
+        DistUpdateError::Comm(e)
+    }
+}
+
+impl From<IncrementalError> for DistUpdateError {
+    fn from(e: IncrementalError) -> Self {
+        DistUpdateError::Update(e)
+    }
+}
+
+impl std::fmt::Display for DistUpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistUpdateError::Update(e) => write!(f, "rejected update: {e}"),
+            DistUpdateError::Comm(e) => write!(f, "communication failure: {e}"),
+        }
+    }
+}
+
+/// Validation shared by every rank, before any communication: rejections
+/// are computed from the arguments alone (plus the closure invariant
+/// `d[u][u] = 1̄`), so all ranks agree without a collective and the grid
+/// never deadlocks half-in/half-out of the broadcast pair.
+fn validate<S: Semiring>(n: usize, u: usize, v: usize, w: S::Elem) -> Result<(), IncrementalError> {
+    #[allow(clippy::eq_op)]
+    if w != w {
+        return Err(IncrementalError::NanWeight);
+    }
+    if u >= n || v >= n {
+        return Err(IncrementalError::BadVertex);
+    }
+    if u == v {
+        // on a valid closure d[u][u] = 1̄, so "improving" means w ⊕ 1̄ ≠ 1̄
+        // (min-plus: w < 0) — a negative cycle
+        return Err(if S::add(S::one(), w) != S::one() {
+            IncrementalError::NegativeSelfLoop
+        } else {
+            IncrementalError::NotADecrease
+        });
+    }
+    Ok(())
+}
 
 /// Collectively absorb the improved edge `u → v` of weight `w` into the
 /// solved distributed closure `a`. Every rank of `grid` must call this with
 /// identical arguments. Returns the number of local entries improved on
-/// this rank, or the typed error if either slice broadcast breaks.
+/// this rank, or a typed error — malformed updates (out-of-range endpoint,
+/// NaN weight, negative self-loop) are rejected on every rank *before* any
+/// message is sent, so a bad client update can never kill or desynchronize
+/// the grid.
 pub fn decrease_edge_dist<S: Semiring>(
     grid: &ProcessGrid,
     a: &mut DistMatrix<S::Elem>,
     u: usize,
     v: usize,
     w: S::Elem,
-) -> Result<usize, CommError> {
-    assert!(u < a.n && v < a.n, "edge endpoint out of range");
+) -> Result<usize, DistUpdateError> {
+    validate::<S>(a.n, u, v, w)?;
 
     // --- broadcast my rows' d[i][u] along each process row ---
     let bu = u / a.b;
@@ -138,6 +198,38 @@ mod tests {
         let mut want = b.build().to_dense();
         fw_seq::<MinPlusF32>(&mut want);
         assert!(want.eq_exact(&got));
+    }
+
+    #[test]
+    fn malformed_updates_are_typed_on_every_rank_without_deadlock() {
+        // regression: pre-fix this was an assert! that killed the calling
+        // rank and deadlocked the rest of the grid mid-collective
+        let g = generators::erdos_renyi(12, 0.3, WeightKind::small_ints(), 13);
+        let input = g.to_dense();
+        let errors = Runtime::new(4).run(move |comm| {
+            let grid = ProcessGrid::new(comm, 2, 2).unwrap();
+            let (r, c) = grid.coords();
+            let mut a = DistMatrix::from_global(&input, 3, 2, 2, r, c);
+            let cfg = FwConfig::new(3, Variant::Baseline);
+            driver::run::<MinPlusF32, _>(&grid, &mut a, &cfg, &mut InCoreGemm::budgeted(4))
+                .expect("in-core run");
+            let bad_vertex = decrease_edge_dist::<MinPlusF32>(&grid, &mut a, 1, 99, 1.0);
+            let self_loop = decrease_edge_dist::<MinPlusF32>(&grid, &mut a, 5, 5, -1.0);
+            let nan = decrease_edge_dist::<MinPlusF32>(&grid, &mut a, 1, 2, f32::NAN);
+            // the grid is still functional after the rejections
+            let ok = decrease_edge_dist::<MinPlusF32>(&grid, &mut a, 0, 11, 0.5);
+            (bad_vertex, self_loop, nan, ok.is_ok())
+        });
+        use crate::incremental::IncrementalError;
+        for (bad_vertex, self_loop, nan, grid_alive) in errors {
+            assert_eq!(bad_vertex, Err(DistUpdateError::Update(IncrementalError::BadVertex)));
+            assert_eq!(
+                self_loop,
+                Err(DistUpdateError::Update(IncrementalError::NegativeSelfLoop))
+            );
+            assert_eq!(nan, Err(DistUpdateError::Update(IncrementalError::NanWeight)));
+            assert!(grid_alive);
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod layout;
 pub mod oned;
 
 pub use driver::{GpuOffload, InCoreGemm, OffloadStats, OuterExec};
+pub use incremental_dist::{decrease_edge_dist, DistUpdateError};
 pub use layout::DistMatrix;
 
 use std::time::Duration;

@@ -31,6 +31,12 @@
 //! * [`schedule`] — lowers any policy triple to a [`cluster_sim`] task DAG
 //!   at Summit scale; this is what regenerates the paper's Figs. 3–4 and
 //!   7–9.
+//! * [`serve`] — APSP-as-a-service: an epoch-snapshot query engine over a
+//!   solved closure ([`serve::Engine`]), batched point-to-point /
+//!   one-to-many / path queries against `Arc`-swapped immutable
+//!   [`serve::Snapshot`]s while a single writer streams
+//!   [`incremental`](mod@incremental) decrease batches and publishes new
+//!   epochs; spoken over a line protocol by `apsp serve`.
 //! * [`solver`] — one [`Solver`] registry over every APSP algorithm in the
 //!   workspace (dense FW, block-sparse, Johnson, Dijkstra, Δ-stepping,
 //!   Seidel, the distributed driver), a one-pass [`GraphProfile`], and a
@@ -61,6 +67,7 @@ pub mod incremental;
 pub mod model;
 pub mod paths_dist;
 pub mod schedule;
+pub mod serve;
 pub mod solver;
 pub mod verify;
 
@@ -71,6 +78,8 @@ pub use dist::{
 };
 pub use fw_blocked::{fw_blocked, DiagMethod};
 pub use fw_seq::{fw_seq, fw_seq_with_paths};
+pub use incremental::{BatchReport, IncrementalError};
+pub use serve::{Engine, Snapshot};
 pub use solver::{
     GraphProfile, Ineligible, Plan, Registry, Solution, SolveError, SolveOpts, Solver, SolverStats,
 };

@@ -98,6 +98,51 @@ pub fn split(annotated: &Matrix<DistPred>) -> (Matrix<f32>, Matrix<u32>) {
     (d, p)
 }
 
+/// Inverse of [`split`]: zip a solved distance matrix and its predecessor
+/// matrix (e.g. from [`crate::fw_seq::fw_seq_with_paths`]) back into the
+/// annotated form that the witness-carrying incremental updater and the
+/// [`crate::serve`] engine operate on.
+pub fn combine(dist: &Matrix<f32>, pred: &Matrix<u32>) -> Matrix<DistPred> {
+    let n = dist.rows();
+    assert_eq!((n, n), (pred.rows(), pred.cols()), "dist/pred shape mismatch");
+    Matrix::from_fn(n, n, |i, j| DistPred { d: dist[(i, j)], pred: pred[(i, j)] })
+}
+
+/// The annotated element for a raw edge `u → v` of weight `w`: the witness
+/// is `u`, the vertex preceding `v` when a path uses this edge.
+pub fn edge_elem(u: usize, w: f32) -> DistPred {
+    DistPred { d: w, pred: u as u32 }
+}
+
+/// Walk witnesses back from `dst` on an annotated closure, producing the
+/// vertex sequence `src … dst` (`None` if unreachable). Equivalent to
+/// [`crate::fw_seq::reconstruct_path`] on the [`split`] predecessor matrix,
+/// without materializing it — the serve layer answers path queries on a
+/// shared annotated snapshot directly.
+pub fn reconstruct_path_annotated(
+    m: &Matrix<DistPred>,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while m[(src, cur)].pred != crate::fw_seq::NO_PRED {
+        cur = m[(src, cur)].pred as usize;
+        path.push(cur);
+        if cur == src {
+            path.reverse();
+            return Some(path);
+        }
+        if path.len() > m.rows() {
+            return None;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +229,25 @@ mod tests {
                         assert!(validate_path(&g, &p, s, t, d[(s, t)], 1e-3));
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_round_trips_and_annotated_walk_matches_split_walk() {
+        let g = generators::erdos_renyi(18, 0.3, WeightKind::small_ints(), 23);
+        let mut annotated = annotate(&g.to_dense());
+        fw_blocked::<S>(&mut annotated, 6, DiagMethod::FwClosure, false);
+        let (d, pred) = split(&annotated);
+        let back = combine(&d, &pred);
+        assert_eq!(annotated, back);
+        for s in 0..18 {
+            for t in 0..18 {
+                assert_eq!(
+                    reconstruct_path_annotated(&annotated, s, t),
+                    reconstruct_path(&pred, s, t),
+                    "{s}->{t}"
+                );
             }
         }
     }
