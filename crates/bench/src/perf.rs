@@ -41,7 +41,7 @@ pub const DEFAULT_THRESHOLD: f64 = 0.15;
 pub struct Entry {
     /// Stable identity (comparator join key); sizes go in `params`.
     pub name: String,
-    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`, `solver`, `serve`.
+    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`, `solver`, `ooc`, `serve`.
     pub group: String,
     /// Numeric parameters of the run (n, block, grid, …).
     pub params: Vec<(String, f64)>,
@@ -318,6 +318,8 @@ struct Sizes {
     solver_b: usize,
     serve_n: usize,
     serve_batches: usize,
+    ooc_n: usize,
+    ooc_tile: usize,
 }
 
 fn sizes(mode: Mode) -> Sizes {
@@ -337,6 +339,8 @@ fn sizes(mode: Mode) -> Sizes {
             solver_b: 64,
             serve_n: 256,
             serve_batches: 5000,
+            ooc_n: 768,
+            ooc_tile: 128,
         },
         Mode::Quick => Sizes {
             gemm_n: 64,
@@ -353,6 +357,8 @@ fn sizes(mode: Mode) -> Sizes {
             solver_b: 16,
             serve_n: 64,
             serve_batches: 40,
+            ooc_n: 192,
+            ooc_tile: 48,
         },
     }
 }
@@ -651,6 +657,65 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                 speedup: Some(baseline_wall_s / wall_s),
             });
         }
+    }
+
+    // --- out-of-core: staged (file store, tight budget) vs in-memory ------
+    // Same driver, same tile size, same packed-blob format; the only
+    // difference is whether the store is a Vec of blobs or a file behind the
+    // background I/O thread, with the budget sized to force spilling. The
+    // speedup field records the staging cost (expected < 1; the acceptance
+    // bar is staying within 2x of in-memory).
+    eprintln!("[perf] ooc staged vs in-memory, n = {}, tile = {}", sz.ooc_n, sz.ooc_tile);
+    {
+        use apsp_core::ooc::{
+            solve_in_store, staged_budget_floor, tile_blob_capacity, FileStore, MemStore,
+            OocConfig,
+        };
+        let (n, tile) = (sz.ooc_n, sz.ooc_tile);
+        let input = generators::uniform_dense(n, WeightKind::small_ints(), 34).to_dense();
+        // floor + one row of tiles of cache: heavy eviction traffic without
+        // being degenerate
+        let budget = staged_budget_floor::<f32>(tile, 2)
+            + (n.div_ceil(tile) as u64 + 2) * tile_blob_capacity::<f32>(tile) as u64;
+        let baseline_wall_s = time_min(
+            reps,
+            || input.clone(),
+            |mut m| {
+                let mut store = MemStore::new::<f32>(n, tile);
+                solve_in_store::<MinPlus<f32>>(&mut m, &mut store, &OocConfig::unbounded())
+                    .expect("in-memory ooc solve");
+            },
+        );
+        let path = std::env::temp_dir()
+            .join(format!("apsp-bench-ooc-{}-{n}.tiles", std::process::id()));
+        let wall_s = time_min(
+            reps,
+            || input.clone(),
+            |mut m| {
+                let mut store =
+                    FileStore::create::<f32>(&path, n, tile, 2).expect("create tile store");
+                solve_in_store::<MinPlus<f32>>(&mut m, &mut store, &OocConfig::with_budget(budget))
+                    .expect("staged ooc solve");
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+        eprintln!(
+            "  ooc/staged_vs_inmem/f32: staged {wall_s:.6}s, in-memory {baseline_wall_s:.6}s, x{:.3}",
+            baseline_wall_s / wall_s
+        );
+        entries.push(Entry {
+            name: "ooc/staged_vs_inmem/f32".to_string(),
+            group: "ooc".to_string(),
+            params: vec![
+                ("n".to_string(), n as f64),
+                ("tile".to_string(), tile as f64),
+                ("budget".to_string(), budget as f64),
+            ],
+            wall_s,
+            gflops: Some(2.0 * (n as f64).powi(3) / wall_s / 1e9),
+            baseline_wall_s: Some(baseline_wall_s),
+            speedup: Some(baseline_wall_s / wall_s),
+        });
     }
 
     // --- serve layer: batched-query latency under update pressure ---------

@@ -164,6 +164,9 @@ impl GpuOffload {
         pr: usize,
         pc: usize,
     ) -> Result<Self, DistError> {
+        cfg.oog
+            .validate()
+            .map_err(|e| DistError::BadConfig { detail: e.to_string() })?;
         let b = cfg.block;
         let nb = n.div_ceil(b);
         let dim = |k: usize| b.min(n - k * b);
@@ -207,8 +210,13 @@ impl<S: Semiring> OuterExec<S> for GpuOffload {
         if c.rows() == 0 || c.cols() == 0 {
             return Ok(());
         }
-        let oog_stats = oog_srgemm::<S>(&self.gpu, &self.oog, c, a, b).map_err(|oom| {
-            DistError::DeviceOom { requested: oom.requested, available: oom.available }
+        let oog_stats = oog_srgemm::<S>(&self.gpu, &self.oog, c, a, b).map_err(|e| match e {
+            gpu_sim::OogError::Oom(oom) => {
+                DistError::DeviceOom { requested: oom.requested, available: oom.available }
+            }
+            bad @ gpu_sim::OogError::InvalidConfig { .. } => {
+                DistError::BadConfig { detail: bad.to_string() }
+            }
         })?;
         self.stats.gpu_seconds += oog_stats.sim_time;
         self.stats.flops += oog_stats.flops;

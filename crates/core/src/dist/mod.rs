@@ -151,6 +151,12 @@ pub enum DistError {
     /// report, a peer-failure notification, a split timeout, or an injected
     /// fault (see [`mpi_sim::CommError`]).
     Comm(CommError),
+    /// The offload configuration itself is invalid (zero tile dims or
+    /// stream count reaching the executor via literal construction).
+    BadConfig {
+        /// Human-readable description of the offending knob.
+        detail: String,
+    },
     /// A rank's closure panicked; the runtime caught the unwind and peers
     /// were failed fast, so the panic surfaces as data instead of an abort.
     RankPanicked {
@@ -169,6 +175,7 @@ impl std::fmt::Display for DistError {
                 "offload panels do not fit on the device: need {requested} B, \
                  have {available} B (shrink the block size or the oog tile buffers)"
             ),
+            DistError::BadConfig { detail } => write!(f, "bad offload config: {detail}"),
             DistError::Comm(e) => write!(f, "communication failed: {e}"),
             DistError::RankPanicked { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")

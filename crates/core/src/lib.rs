@@ -65,6 +65,7 @@ pub mod fw_seq;
 pub mod fw_sparse;
 pub mod incremental;
 pub mod model;
+pub mod ooc;
 pub mod paths_dist;
 pub mod schedule;
 pub mod serve;

@@ -15,9 +15,12 @@ use crate::dist::distributed_apsp_opts;
 use crate::fw_blocked::{fw_blocked, DiagMethod};
 use crate::fw_seq::fw_seq;
 use crate::fw_sparse::fw_block_sparse;
+use crate::ooc::{
+    choose_tile, solve_in_store, staged_budget_floor, FileStore, MemStore, OocConfig, OocError,
+};
 
 use super::planner::{
-    delta_sweep_seconds, dense_flops, sssp_sweep_seconds, T_FLOP_BLOCKED, T_FLOP_PACKED,
+    delta_sweep_seconds, dense_flops, sssp_sweep_seconds, T_DISK, T_FLOP_BLOCKED, T_FLOP_PACKED,
     T_FLOP_SEQ, T_RELAX,
     T_SIM_RANK,
 };
@@ -32,6 +35,7 @@ pub fn all() -> Vec<Box<dyn Solver>> {
         Box::new(Blocked),
         Box::new(Dc),
         Box::new(FwSeq),
+        Box::new(Ooc),
         Box::new(Sparse),
         Box::new(Johnson),
         Box::new(Dijkstra),
@@ -149,6 +153,145 @@ impl Solver for FwSeq {
         let mut d = g.to_dense();
         fw_seq::<MinPlusF32>(&mut d);
         Ok(solution(d, self.name(), 1))
+    }
+}
+
+/// Double-buffer depth of the out-of-core solver's tile store.
+const OOC_DEPTH: usize = 2;
+
+/// Out-of-core blocked FW: the matrix lives in a tile store of packed-GEMM
+/// blobs (file-backed when the memory budget forces staging), and the
+/// driver walks the blocked-FW schedule under that budget. The only dense
+/// solver that stays eligible when `--memory-budget` is below the dense
+/// matrix size.
+struct Ooc;
+
+impl Ooc {
+    /// Resident bytes of an *in-memory* out-of-core run: the blob store
+    /// (~dense + pack padding), the decoded tile cache (~dense again), and
+    /// scratch. The margin keeps this mode honest — if it doesn't fit, the
+    /// solver stages to disk instead.
+    fn in_mem_bytes(dense_bytes: u64) -> u64 {
+        2 * dense_bytes + dense_bytes / 4
+    }
+
+    /// Staged when a budget exists and the in-memory footprint busts it.
+    fn staged_under(opts: &SolveOpts, dense_bytes: u64) -> Option<u64> {
+        opts.memory_budget.filter(|&b| b < Self::in_mem_bytes(dense_bytes))
+    }
+}
+
+impl Solver for Ooc {
+    fn name(&self) -> &'static str {
+        "ooc"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["out-of-core", "staged"]
+    }
+    fn description(&self) -> &'static str {
+        "out-of-core blocked FW (tile store staged to disk under a RAM budget)"
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, opts: &SolveOpts) -> u64 {
+        match Self::staged_under(opts, profile.dense_bytes) {
+            Some(budget) => match choose_tile::<f32>(profile.n, budget, OOC_DEPTH) {
+                Some(tile) => staged_budget_floor::<f32>(tile, OOC_DEPTH),
+                // nothing fits: report the smallest possible floor, which
+                // exceeds the budget and turns into a typed MemoryBudget row
+                None => staged_budget_floor::<f32>(8.min(profile.n.max(1)), OOC_DEPTH),
+            },
+            None => Self::in_mem_bytes(profile.dense_bytes),
+        }
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        let t = opts.effective_threads();
+        let compute = dense_flops(profile.n) * T_FLOP_PACKED * 1.15 / t as f64;
+        match Self::staged_under(opts, profile.dense_bytes) {
+            Some(budget) => {
+                let tile = choose_tile::<f32>(profile.n, budget, OOC_DEPTH).unwrap_or(8);
+                let passes = profile.n.div_ceil(tile.max(1)) as f64;
+                // each block iteration re-reads and re-writes ~the matrix
+                let disk = passes * 2.0 * profile.dense_bytes as f64 * T_DISK;
+                Estimate {
+                    seconds: compute + disk,
+                    detail: format!(
+                        "2n³·1.15·t_packed/threads + ⌈n/{tile}⌉·2n²·4B·t_disk staged"
+                    ),
+                }
+            }
+            None => Estimate {
+                seconds: compute,
+                detail: "2n³ · 1.15·t_packed / threads (tile-store overhead)".into(),
+            },
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let threads = opts.effective_threads();
+        let n = g.n();
+        let mut d = g.to_dense();
+        if n == 0 {
+            return Ok(solution(d, self.name(), threads));
+        }
+        let dense_bytes = (n * n * 4) as u64;
+        let run = |d: &mut Matrix<f32>, store: &mut dyn crate::ooc::TileStore, cfg: &OocConfig| {
+            with_thread_cap(opts.threads, || solve_in_store::<MinPlusF32>(d, store, cfg))
+        };
+        let (stats, store_kind) = match Self::staged_under(opts, dense_bytes) {
+            Some(budget) => {
+                let tile = choose_tile::<f32>(n, budget, OOC_DEPTH).ok_or_else(|| {
+                    SolveError::Ooc(OocError::BudgetTooSmall {
+                        required: staged_budget_floor::<f32>(8.min(n), OOC_DEPTH),
+                        budget,
+                    })
+                })?;
+                let path = std::env::temp_dir().join(format!(
+                    "apsp-ooc-{}-{n}x{tile}.tiles",
+                    std::process::id()
+                ));
+                let mut store = FileStore::create::<f32>(&path, n, tile, OOC_DEPTH)
+                    .map_err(|e| SolveError::Ooc(e.into()))?;
+                let cfg = OocConfig {
+                    budget_bytes: budget,
+                    depth: OOC_DEPTH,
+                    parallel: threads > 1,
+                };
+                let res = run(&mut d, &mut store, &cfg);
+                drop(store);
+                let _ = std::fs::remove_file(&path);
+                (res.map_err(SolveError::Ooc)?, "file")
+            }
+            None => {
+                let tile = opts.block.max(1).min(n);
+                let mut store = MemStore::new::<f32>(n, tile);
+                let cfg = OocConfig { parallel: threads > 1, ..OocConfig::unbounded() };
+                (run(&mut d, &mut store, &cfg).map_err(SolveError::Ooc)?, "memory")
+            }
+        };
+        let mut sol = solution(d, self.name(), threads);
+        sol.stats.notes.push(format!(
+            "ooc: {} store, tile {} ({}×{} tiles), peak resident {} of budget {}",
+            store_kind,
+            stats.tile,
+            stats.tiles_per_side,
+            stats.tiles_per_side,
+            super::profile::human_bytes(stats.peak_resident_bytes),
+            if stats.budget_bytes == u64::MAX {
+                "∞".to_string()
+            } else {
+                super::profile::human_bytes(stats.budget_bytes)
+            },
+        ));
+        sol.stats.metrics.extend([
+            ("ooc_staged", if stats.staged { 1.0 } else { 0.0 }),
+            ("tile", stats.tile as f64),
+            ("tiles_read", stats.tiles_read as f64),
+            ("tiles_written", stats.tiles_written as f64),
+            ("bytes_read", stats.bytes_read as f64),
+            ("bytes_written", stats.bytes_written as f64),
+            ("peak_resident_bytes", stats.peak_resident_bytes as f64),
+            ("io_seconds", stats.io_seconds),
+            ("compute_seconds", stats.compute_seconds),
+        ]);
+        Ok(sol)
     }
 }
 
@@ -459,7 +602,7 @@ mod tests {
     fn aliases_resolve_to_the_same_solver() {
         let reg = Registry::with_all();
         for (alias, canonical) in
-            [("dense", "blocked"), ("packed", "blocked"), ("seq", "fw"), ("block-sparse", "sparse"), ("delta-stepping", "delta")]
+            [("dense", "blocked"), ("packed", "blocked"), ("seq", "fw"), ("block-sparse", "sparse"), ("delta-stepping", "delta"), ("out-of-core", "ooc"), ("staged", "ooc")]
         {
             assert_eq!(reg.get(alias).unwrap().name(), canonical, "{alias}");
         }
@@ -553,6 +696,70 @@ mod tests {
         match reg.solve_auto(&g, &opts) {
             Err(SolveError::NoEligibleSolver) => {}
             other => panic!("expected NoEligibleSolver, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn memory_budget_below_dense_flips_the_planner_to_out_of_core() {
+        let reg = Registry::with_all();
+        // complete-ish dense graph: the sparse/SSSP families are all priced
+        // out by density, and dense_bytes = 96²·4 = 36 864
+        let g = generators::uniform_dense(96, WeightKind::small_ints(), 21);
+        let want = reference(&g);
+        let budget = 30 * 1024; // below dense_bytes, above the tile-24 floor
+        let opts = SolveOpts { memory_budget: Some(budget as u64), ..Default::default() };
+        let plan = reg.plan(&g, &opts);
+        assert_eq!(plan.chosen, Some("ooc"), "\n{}", plan.render());
+        // every in-RAM dense solver must be priced out by the budget
+        for e in &plan.entries {
+            if ["blocked", "dc", "fw"].contains(&e.solver) {
+                assert!(
+                    matches!(e.outcome, Err(Ineligible::MemoryBudget { .. })),
+                    "{} should be budget-ineligible",
+                    e.solver
+                );
+            }
+        }
+        // and the staged solve itself is exact, under budget, through a file
+        let sol = reg.solve("ooc", &g, &opts).unwrap();
+        assert!(sol.dist.eq_exact(&want));
+        assert!(sol.stats.notes.iter().any(|n| n.contains("file store")), "{:?}", sol.stats.notes);
+        let metric = |k: &str| {
+            sol.stats.metrics.iter().find(|(n, _)| *n == k).map(|(_, v)| *v).unwrap()
+        };
+        assert_eq!(metric("ooc_staged"), 1.0);
+        assert!(metric("peak_resident_bytes") <= budget as f64);
+        assert!(metric("tiles_written") > 0.0, "a sub-dense budget must spill tiles");
+    }
+
+    #[test]
+    fn out_of_core_without_budget_runs_in_memory_and_is_never_preferred() {
+        let reg = Registry::with_all();
+        let g = unit_fixture(32, 20, 17);
+        let want = reference(&g);
+        let opts = SolveOpts { block: 8, ..Default::default() };
+        let sol = reg.solve("ooc", &g, &opts).unwrap();
+        assert!(sol.dist.eq_exact(&want));
+        assert!(sol.stats.notes.iter().any(|n| n.contains("memory store")));
+        // with no budget pressure the planner must not pick ooc over the
+        // plain packed dense engine
+        let plan = reg.plan(&g, &opts);
+        assert_ne!(plan.chosen, Some("ooc"));
+    }
+
+    #[test]
+    fn impossible_budget_is_a_typed_ooc_error() {
+        let reg = Registry::with_all();
+        let g = unit_fixture(48, 10, 23);
+        // above zero (so the registry reaches the solver when forced) but
+        // below the smallest staged floor
+        let opts = SolveOpts { memory_budget: Some(4096), ..Default::default() };
+        match reg.solve("ooc", &g, &opts) {
+            Err(SolveError::Ineligible { solver: "ooc", reason: Ineligible::MemoryBudget { .. } }) => {}
+            Err(SolveError::Ooc(e)) => {
+                assert!(matches!(e, crate::ooc::OocError::BudgetTooSmall { .. }), "{e:?}")
+            }
+            other => panic!("expected a budget error, got {:?}", other.map(|_| ())),
         }
     }
 

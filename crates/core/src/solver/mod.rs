@@ -141,6 +141,8 @@ pub enum SolveError {
     NegativeCycle,
     /// The simulated distributed runtime failed.
     Dist(DistError),
+    /// The out-of-core tile-store driver failed (I/O, corruption, budget).
+    Ooc(crate::ooc::OocError),
     /// No registered solver answers to this name.
     UnknownSolver {
         /// The name that failed to resolve.
@@ -161,6 +163,7 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::NegativeCycle => write!(f, "graph contains a negative cycle"),
             SolveError::Dist(e) => write!(f, "dist: {e}"),
+            SolveError::Ooc(e) => write!(f, "ooc: {e}"),
             SolveError::UnknownSolver { name, known } => {
                 write!(f, "unknown algorithm '{name}' (known: {}, auto)", known.join(", "))
             }

@@ -34,6 +34,10 @@ pub const T_HEAP: f64 = 9.0e-9;
 /// light-edge re-relaxations folded in; grows on wide weight ranges,
 /// which only widens dense FW's win there).
 pub const T_BUCKET_RELAX: f64 = 4.5e-8;
+/// Seconds per byte of tile-store disk traffic in the out-of-core solver
+/// (~2 GB/s sustained sequential file I/O; the `t3` engine of
+/// `gpu_sim::cost`'s four-term model).
+pub const T_DISK: f64 = 5.0e-10;
 /// Per-rank overhead of the simulated distributed runtime (thread spawn,
 /// mailbox traffic, scheduling) — keeps `dist` estimates honest about the
 /// fact that it simulates a cluster rather than using one.

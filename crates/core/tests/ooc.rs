@@ -1,0 +1,244 @@
+//! Out-of-core FW: oracle equivalence, budget enforcement, corruption
+//! handling, and cost-model consistency.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use apsp_core::fw_blocked::{fw_blocked, DiagMethod};
+use apsp_core::fw_seq::fw_seq;
+use apsp_core::ooc::{
+    choose_tile, ingest, ooc_fw, solve_in_store, staged_budget_floor, FileStore, MemStore,
+    OocConfig, OocError, StoreError,
+};
+use apsp_graph::generators::{self, WeightKind};
+use gpu_sim::OffloadCosts;
+use srgemm::matrix::Matrix;
+use srgemm::MinPlusF32;
+
+fn dense(n: usize, seed: u64) -> Matrix<f32> {
+    generators::uniform_dense(n, WeightKind::small_ints(), seed).to_dense()
+}
+
+/// Unique temp file path, removed on drop.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut p = std::env::temp_dir();
+        p.push(format!("apsp-ooc-test-{}-{tag}-{seq}.tiles", std::process::id()));
+        TempPath(p)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A budget just big enough to run but far too small to hold the matrix:
+/// forces eviction traffic through the store on every iteration.
+fn tight_budget(tile: usize, depth: usize) -> u64 {
+    staged_budget_floor::<f32>(tile, depth)
+        + 3 * apsp_core::ooc::tile_blob_capacity::<f32>(tile) as u64
+}
+
+#[test]
+fn staged_solve_is_bit_identical_to_fw_seq_across_ragged_shapes() {
+    // n × tile combos where tiles divide, don't divide, and exceed n
+    for &(n, t) in &[(24usize, 8usize), (29, 8), (48, 16), (33, 7), (40, 64)] {
+        let base = dense(n, 0xA11CE + n as u64);
+        let mut want = base.clone();
+        fw_seq::<MinPlusF32>(&mut want);
+        let mut blocked = base.clone();
+        fw_blocked::<MinPlusF32>(&mut blocked, t, DiagMethod::FwClosure, false);
+        assert!(want.eq_exact(&blocked), "fw_blocked oracle drifted at n={n} t={t}");
+
+        let path = TempPath::new("oracle");
+        let cfg = OocConfig { budget_bytes: tight_budget(t, 2), depth: 2, parallel: false };
+        let mut store = FileStore::create::<f32>(&path.0, n, t, cfg.depth).unwrap();
+        let mut got = base.clone();
+        let stats = solve_in_store::<MinPlusF32>(&mut got, &mut store, &cfg).unwrap();
+        assert!(want.eq_exact(&got), "staged solve diverged at n={n} t={t}");
+        assert!(stats.staged, "file-backed store must report staged");
+        if n > t {
+            assert!(stats.tiles_written > 0, "a tight budget must spill (n={n} t={t})");
+        }
+    }
+}
+
+#[test]
+fn in_memory_store_matches_staged_and_fw_blocked() {
+    let n = 56;
+    let base = dense(n, 7);
+    let mut want = base.clone();
+    fw_blocked::<MinPlusF32>(&mut want, 16, DiagMethod::FwClosure, false);
+
+    let mut mem_store = MemStore::new::<f32>(n, 16);
+    let mut via_mem = base.clone();
+    let mem_stats =
+        solve_in_store::<MinPlusF32>(&mut via_mem, &mut mem_store, &OocConfig::unbounded())
+            .unwrap();
+    assert!(want.eq_exact(&via_mem));
+    assert!(!mem_stats.staged);
+
+    let path = TempPath::new("memvsfile");
+    let mut file_store = FileStore::create::<f32>(&path.0, n, 16, 2).unwrap();
+    let mut via_file = base.clone();
+    let cfg = OocConfig { budget_bytes: tight_budget(16, 2), depth: 2, parallel: true };
+    solve_in_store::<MinPlusF32>(&mut via_file, &mut file_store, &cfg).unwrap();
+    assert!(via_mem.eq_exact(&via_file), "staged and in-memory runs must agree bit-for-bit");
+}
+
+#[test]
+fn budget_sweep_never_exceeds_the_budget() {
+    let (n, t) = (64usize, 16usize);
+    let base = dense(n, 11);
+    let mut want = base.clone();
+    fw_seq::<MinPlusF32>(&mut want);
+    let floor = staged_budget_floor::<f32>(t, 2);
+    for extra in [0u64, 1 << 12, 1 << 14, 1 << 16, 1 << 20] {
+        let budget = floor + extra;
+        let path = TempPath::new("sweep");
+        let mut store = FileStore::create::<f32>(&path.0, n, t, 2).unwrap();
+        let mut got = base.clone();
+        let cfg = OocConfig { budget_bytes: budget, depth: 2, parallel: false };
+        let stats = solve_in_store::<MinPlusF32>(&mut got, &mut store, &cfg).unwrap();
+        assert!(want.eq_exact(&got), "wrong closure at budget {budget}");
+        assert!(
+            stats.peak_resident_bytes <= budget,
+            "peak {} exceeds budget {budget}",
+            stats.peak_resident_bytes
+        );
+    }
+}
+
+#[test]
+fn budget_below_floor_fails_upfront_with_the_full_requirement() {
+    let (n, t) = (32usize, 16usize);
+    let path = TempPath::new("floor");
+    let mut store = FileStore::create::<f32>(&path.0, n, t, 2).unwrap();
+    ingest::<MinPlusF32>(&mut store, &dense(n, 3).view()).unwrap();
+    let floor = staged_budget_floor::<f32>(t, 2);
+    let cfg = OocConfig { budget_bytes: floor - 1, depth: 2, parallel: false };
+    match ooc_fw::<MinPlusF32>(&mut store, &cfg) {
+        Err(OocError::BudgetTooSmall { required, budget }) => {
+            // the full up-front requirement, not the increment that tripped
+            assert_eq!(required, floor);
+            assert_eq!(budget, floor - 1);
+        }
+        other => panic!("expected BudgetTooSmall, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_depth_is_rejected_by_the_shared_validation() {
+    let (n, t) = (16usize, 8usize);
+    let mut store = MemStore::new::<f32>(n, t);
+    ingest::<MinPlusF32>(&mut store, &dense(n, 1).view()).unwrap();
+    let cfg = OocConfig { budget_bytes: u64::MAX, depth: 0, parallel: false };
+    assert_eq!(
+        ooc_fw::<MinPlusF32>(&mut store, &cfg),
+        Err(OocError::InvalidConfig { tile: t, depth: 0 })
+    );
+}
+
+#[test]
+fn truncated_store_file_is_a_typed_error_not_a_panic() {
+    let (n, t) = (32usize, 8usize);
+    let path = TempPath::new("trunc");
+    {
+        let mut store = FileStore::create::<f32>(&path.0, n, t, 2).unwrap();
+        ingest::<MinPlusF32>(&mut store, &dense(n, 5).view()).unwrap();
+    }
+    // Chop the file: open() must refuse with a header error.
+    let full = std::fs::metadata(&path.0).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path.0).unwrap();
+    f.set_len(full / 2).unwrap();
+    drop(f);
+    match FileStore::open::<f32>(&path.0, 2) {
+        Err(StoreError::BadHeader { detail }) => {
+            assert!(detail.contains("truncated"), "unhelpful detail: {detail}")
+        }
+        other => panic!("expected BadHeader, got {:?}", other.map(|_| ())),
+    }
+    // Chop into the header itself.
+    let f = std::fs::OpenOptions::new().write(true).open(&path.0).unwrap();
+    f.set_len(10).unwrap();
+    drop(f);
+    assert!(matches!(FileStore::open::<f32>(&path.0, 2), Err(StoreError::Io { op: "read", .. })));
+}
+
+#[test]
+fn corrupt_tile_blob_is_a_typed_decode_error() {
+    use std::io::{Seek, SeekFrom, Write};
+    let (n, t) = (32usize, 8usize);
+    let path = TempPath::new("corrupt");
+    {
+        let mut store = FileStore::create::<f32>(&path.0, n, t, 2).unwrap();
+        ingest::<MinPlusF32>(&mut store, &dense(n, 6).view()).unwrap();
+    }
+    // Stomp the magic of some mid-file tile slot.
+    let mut f = std::fs::OpenOptions::new().write(true).open(&path.0).unwrap();
+    let slot = apsp_core::ooc::tile_blob_capacity::<f32>(t) as u64;
+    f.seek(SeekFrom::Start(36 + 5 * slot)).unwrap();
+    f.write_all(b"garbage!").unwrap();
+    drop(f);
+    let mut store = FileStore::open::<f32>(&path.0, 2).unwrap();
+    let cfg = OocConfig { budget_bytes: tight_budget(t, 2), depth: 2, parallel: false };
+    match ooc_fw::<MinPlusF32>(&mut store, &cfg) {
+        Err(OocError::Decode(_)) => {}
+        other => panic!("expected a decode error, got {other:?}"),
+    }
+}
+
+#[test]
+fn mem_store_read_of_unwritten_tile_is_typed() {
+    let mut store = MemStore::new::<f32>(16, 8);
+    use apsp_core::ooc::TileStore;
+    assert_eq!(store.read(1, 0), Err(StoreError::MissingTile { ti: 1, tj: 0 }));
+}
+
+#[test]
+fn choose_tile_picks_the_largest_fit_and_gives_up_below_the_smallest() {
+    let depth = 2;
+    // A budget sized for tile 64 must not pick anything bigger.
+    let b64 = staged_budget_floor::<f32>(64, depth);
+    assert_eq!(choose_tile::<f32>(10_000, b64, depth), Some(64));
+    assert!(staged_budget_floor::<f32>(96, depth) > b64);
+    // Tiny budget: nothing fits.
+    assert_eq!(choose_tile::<f32>(10_000, 1024, depth), None);
+    // Clamped to n when the matrix is small.
+    let huge = u64::MAX;
+    assert_eq!(choose_tile::<f32>(24, huge, depth), Some(24));
+}
+
+#[test]
+fn measured_run_is_consistent_with_the_four_engine_cost_model() {
+    // Validate the §4.5 disk-tier extension against a real staged run: with
+    // the run's own measured compute and I/O times as t0/t3, the model's
+    // serialized (1-lane) prediction must bracket the measured wall time
+    // from below within the driver's (pack/unpack/cache) overhead, and the
+    // fully-overlapped (≥4-lane) prediction must be a lower bound.
+    let (n, t) = (96usize, 24usize);
+    let path = TempPath::new("model");
+    let mut store = FileStore::create::<f32>(&path.0, n, t, 2).unwrap();
+    let mut d = dense(n, 13);
+    let cfg = OocConfig { budget_bytes: tight_budget(t, 2), depth: 2, parallel: false };
+    let stats = solve_in_store::<MinPlusF32>(&mut d, &mut store, &cfg).unwrap();
+    let c = OffloadCosts { t0: stats.compute_seconds, t1: 0.0, t2: 0.0, t3: stats.io_seconds };
+    assert!(
+        stats.wall_seconds >= c.predicted_time(4),
+        "wall {} below the overlap lower bound {}",
+        stats.wall_seconds,
+        c.predicted_time(4)
+    );
+    assert!(
+        stats.wall_seconds <= 5.0 * c.predicted_time(1) + 0.05,
+        "wall {} implausibly above the serialized model {}",
+        stats.wall_seconds,
+        c.predicted_time(1)
+    );
+}

@@ -33,6 +33,7 @@ pub mod spec;
 pub mod stream;
 
 pub use device::{DeviceBuffer, Oom, SimGpu};
-pub use oog::{oog_srgemm, oog_srgemm_model, OogConfig, OogStats};
+pub use cost::{min_block_size, min_block_size_disk, OffloadCosts};
+pub use oog::{oog_preflight, oog_srgemm, oog_srgemm_model, OogConfig, OogError, OogStats};
 pub use spec::GpuSpec;
 pub use stream::{Event, Stream};

@@ -34,6 +34,84 @@ impl OogConfig {
         assert!(mx > 0 && nx > 0 && streams > 0, "tile dims and stream count must be positive");
         OogConfig { mx, nx, streams }
     }
+
+    /// Typed form of `new`'s positivity contract. The fields are `pub`, so a
+    /// literal construction can carry zeros past the constructor assert;
+    /// every offload entry point calls this before touching the tiling
+    /// arithmetic (`div_ceil(0)` panics), and the host-level out-of-core
+    /// driver reuses the same check for its own tile/depth knobs.
+    pub fn validate(&self) -> Result<(), OogError> {
+        if self.mx == 0 || self.nx == 0 || self.streams == 0 {
+            return Err(OogError::InvalidConfig { mx: self.mx, nx: self.nx, streams: self.streams });
+        }
+        Ok(())
+    }
+}
+
+/// Typed failure out of the offload entry points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OogError {
+    /// A zero tile dimension or stream count reached the entry point
+    /// (literal [`OogConfig`] construction bypassing `new`'s assert).
+    InvalidConfig {
+        /// Offending tile rows.
+        mx: usize,
+        /// Offending tile cols.
+        nx: usize,
+        /// Offending stream count.
+        streams: usize,
+    },
+    /// The full device requirement — `A` + `B` slabs *and* the `s` tile
+    /// buffers, reported together, before anything is allocated — exceeds
+    /// free device memory.
+    Oom(Oom),
+}
+
+impl std::fmt::Display for OogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OogError::InvalidConfig { mx, nx, streams } => write!(
+                f,
+                "offload config invalid: tile dims and stream count must be positive \
+                 (mx={mx}, nx={nx}, streams={streams})"
+            ),
+            OogError::Oom(oom) => oom.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for OogError {}
+
+impl From<Oom> for OogError {
+    fn from(oom: Oom) -> Self {
+        OogError::Oom(oom)
+    }
+}
+
+/// The one preflight both the functional and the model entry points run,
+/// **before any allocation**: validate the config, then check the complete
+/// requirement — `A` (m×k) + `B` (k×n) slabs plus the `s` tile buffers —
+/// against the device's current free bytes. Returns the requirement so the
+/// model can report it as its `device_bytes` high-water mark.
+///
+/// Keeping this a single helper is what pins the "functional and model
+/// clocks agree" contract: a borderline configuration either passes both
+/// entry points or fails both with the same [`Oom`] numbers.
+pub fn oog_preflight(
+    gpu: &SimGpu,
+    cfg: &OogConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> Result<u64, OogError> {
+    cfg.validate()?;
+    let need = ((m * k + k * n + cfg.streams * cfg.mx * cfg.nx) * elem_bytes) as u64;
+    let available = gpu.free_bytes();
+    if need > available {
+        return Err(Oom { requested: need, available }.into());
+    }
+    Ok(need)
 }
 
 /// Outcome of an offload GEMM: simulated time and throughput.
@@ -63,9 +141,11 @@ impl OogStats {
 
 /// Functional + timed offload GEMM: `C ← C ⊕ A ⊗ B`.
 ///
-/// Returns [`Oom`] if `A`, `B` and the `s` tile buffers do not fit on the
-/// device together (the caller — `Me-ParallelFw` — picks `m_x`, `n_x`
-/// accordingly).
+/// Returns a typed [`OogError`] if the config carries zero tile dims or
+/// streams, or if `A`, `B` and the `s` tile buffers do not fit on the device
+/// together (the caller — `Me-ParallelFw` — picks `m_x`, `n_x` accordingly).
+/// The preflight runs before any allocation, so an `Oom` always reports the
+/// complete requirement against the device's true free bytes.
 // Slab/tile loops below walk `0..mb × 0..nb` with explicit tile-origin
 // arithmetic; iterator forms would hide the `i0 = i*mx` windows.
 #[allow(clippy::needless_range_loop)]
@@ -75,11 +155,12 @@ pub fn oog_srgemm<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
     a: &View<'_, S::Elem>,
     b: &View<'_, S::Elem>,
-) -> Result<OogStats, Oom> {
+) -> Result<OogStats, OogError> {
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     assert_eq!(a.rows(), m, "A rows must match C rows");
     assert_eq!(b.rows(), k, "B rows must match A cols");
     assert_eq!(b.cols(), n, "B cols must match C cols");
+    oog_preflight(gpu, cfg, m, n, k, std::mem::size_of::<S::Elem>())?;
     gpu.reset_clocks();
 
     let mb = m.div_ceil(cfg.mx).max(1);
@@ -94,11 +175,6 @@ pub fn oog_srgemm<S: Semiring>(
     let mut x_bufs = Vec::with_capacity(s);
     for _ in 0..s {
         x_bufs.push(gpu.alloc::<S::Elem>(cfg.mx * cfg.nx, S::zero())?);
-    }
-    // Pre-reserve A and B so an eventual Oom fires before any work is done.
-    let need = ((m * k + k * n) * std::mem::size_of::<S::Elem>()) as u64;
-    if need > gpu.free_bytes() {
-        return Err(Oom { requested: need, available: gpu.free_bytes() });
     }
 
     let mut streams: Vec<Stream> = (0..s).map(|_| gpu.stream()).collect();
@@ -171,17 +247,13 @@ pub fn oog_srgemm_model(
     n: usize,
     k: usize,
     elem_bytes: usize,
-) -> Result<OogStats, Oom> {
+) -> Result<OogStats, OogError> {
+    let need = oog_preflight(gpu, cfg, m, n, k, elem_bytes)?;
     gpu.reset_clocks();
     let eb = elem_bytes as f64;
     let mb = m.div_ceil(cfg.mx).max(1);
     let nb = n.div_ceil(cfg.nx).max(1);
     let s = cfg.streams;
-
-    let need = ((m * k + k * n + s * cfg.mx * cfg.nx) * elem_bytes) as u64;
-    if need > gpu.spec().mem_bytes {
-        return Err(Oom { requested: need, available: gpu.spec().mem_bytes });
-    }
 
     let mut streams: Vec<Stream> = (0..s).map(|_| gpu.stream()).collect();
     let mut host_free: Vec<Event> = vec![Event { at: 0.0 }; s];
@@ -297,6 +369,86 @@ mod tests {
         let cfg = OogConfig::new(64, 64, 2);
         let err = oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut c.view_mut(), &a.view(), &b.view());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn literal_zero_config_yields_typed_error_not_panic() {
+        // `pub` fields let a literal construction skip `new`'s assert; the
+        // entry points must catch it before `div_ceil(0)` panics.
+        let gpu = SimGpu::new(GpuSpec::test_tiny());
+        let a = lcg(8, 8, 1);
+        let b = lcg(8, 8, 2);
+        for cfg in [
+            OogConfig { mx: 0, nx: 8, streams: 2 },
+            OogConfig { mx: 8, nx: 0, streams: 2 },
+            OogConfig { mx: 8, nx: 8, streams: 0 },
+        ] {
+            let mut c = lcg(8, 8, 3);
+            let got = oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut c.view_mut(), &a.view(), &b.view());
+            assert_eq!(
+                got.unwrap_err(),
+                OogError::InvalidConfig { mx: cfg.mx, nx: cfg.nx, streams: cfg.streams }
+            );
+            let got = oog_srgemm_model(&gpu, &cfg, 8, 8, 8, 4);
+            assert_eq!(
+                got.unwrap_err(),
+                OogError::InvalidConfig { mx: cfg.mx, nx: cfg.nx, streams: cfg.streams }
+            );
+        }
+    }
+
+    #[test]
+    fn oom_reports_full_requirement_before_any_allocation() {
+        // A+B alone fit, but A+B+tiles do not: the error must carry the
+        // complete requirement and the device's true free bytes — not a
+        // figure with the tile buffers already deducted.
+        let gpu = SimGpu::new(GpuSpec::test_tiny()); // 1 MiB
+        let n = 256; // A+B = 2·256·256·4 = 512 KiB
+        let cfg = OogConfig::new(320, 320, 2); // tiles = 2·320·320·4 = 800 KiB
+        let a = Matrix::filled(n, n, 1.0f32);
+        let b = a.clone();
+        let mut c = a.clone();
+        let want = ((n * n * 2 + cfg.streams * cfg.mx * cfg.nx) * 4) as u64;
+        let got = oog_srgemm::<MinPlusF32>(&gpu, &cfg, &mut c.view_mut(), &a.view(), &b.view());
+        assert_eq!(
+            got.unwrap_err(),
+            OogError::Oom(Oom { requested: want, available: gpu.spec().mem_bytes })
+        );
+        assert_eq!(gpu.used_bytes(), 0, "preflight must not leave allocations behind");
+    }
+
+    #[test]
+    fn functional_and_model_preflights_agree_at_the_capacity_boundary() {
+        // Sweep tile sizes across the exact fits/doesn't-fit boundary: the
+        // two entry points must agree on every configuration, and when they
+        // refuse they must refuse with identical numbers.
+        let n = 128;
+        let a = lcg(n, n, 11);
+        let b = lcg(n, n, 12);
+        for mx in [32, 64, 96, 128, 160, 192] {
+            let cfg = OogConfig::new(mx, mx, 3);
+            let need = ((2 * n * n + 3 * mx * mx) * 4) as u64;
+            for mem in [need - 4, need, need + 4] {
+                let spec = GpuSpec { mem_bytes: mem, ..GpuSpec::test_tiny() };
+                let gpu_f = SimGpu::new(spec);
+                let gpu_m = SimGpu::new(spec);
+                let mut c = lcg(n, n, 13);
+                let f = oog_srgemm::<MinPlusF32>(&gpu_f, &cfg, &mut c.view_mut(), &a.view(), &b.view());
+                let m = oog_srgemm_model(&gpu_m, &cfg, n, n, n, 4);
+                match (f, m) {
+                    (Ok(fs), Ok(ms)) => {
+                        assert!(mem >= need, "mx={mx} mem={mem}: both passed below the boundary");
+                        assert!((fs.sim_time - ms.sim_time).abs() < 1e-12);
+                    }
+                    (Err(fe), Err(me)) => {
+                        assert!(mem < need, "mx={mx} mem={mem}: both refused above the boundary");
+                        assert_eq!(fe, me, "mx={mx} mem={mem}");
+                        assert_eq!(fe, OogError::Oom(Oom { requested: need, available: mem }));
+                    }
+                    (f, m) => panic!("mx={mx} mem={mem}: preflights disagree: {f:?} vs {m:?}"),
+                }
+            }
+        }
     }
 
     #[test]

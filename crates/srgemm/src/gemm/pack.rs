@@ -306,6 +306,236 @@ impl<E: Copy> PackedB<E> {
     }
 }
 
+/// An element type that can live in a serialized [`PackedB`] payload:
+/// fixed-width little-endian encoding, independent of host endianness.
+/// Implemented for the floating-point element types the semirings use.
+pub trait PackElem: Copy + Default {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+    /// Append the little-endian encoding of `self` to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Decode from exactly [`PackElem::BYTES`] bytes.
+    fn read_le(b: &[u8]) -> Self;
+}
+
+impl PackElem for f32 {
+    const BYTES: usize = 4;
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(b: &[u8]) -> Self {
+        f32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl PackElem for f64 {
+    const BYTES: usize = 8;
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(b: &[u8]) -> Self {
+        f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+/// Why a serialized [`PackedB`] blob failed to decode — typed, so tile
+/// stores can surface corruption as an error instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PackDecodeError {
+    /// The blob does not start with the `APTB` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// The blob was encoded with a different element width.
+    WrongElemSize {
+        /// Width this decoder expects.
+        expected: usize,
+        /// Width the header claims.
+        got: usize,
+    },
+    /// The blob ends before the payload the header promises.
+    Truncated {
+        /// Bytes the header implies.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Header fields contradict each other (zero tile sizes, a payload
+    /// length that does not match the declared shape, or an overflowing
+    /// shape) — the blob is corrupt.
+    Inconsistent,
+}
+
+impl std::fmt::Display for PackDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackDecodeError::BadMagic => write!(f, "not a packed-tile blob (bad magic)"),
+            PackDecodeError::BadVersion(v) => write!(f, "unknown packed-tile version {v}"),
+            PackDecodeError::WrongElemSize { expected, got } => {
+                write!(f, "packed-tile element width {got} B, expected {expected} B")
+            }
+            PackDecodeError::Truncated { needed, got } => {
+                write!(f, "packed-tile blob truncated: need {needed} B, have {got} B")
+            }
+            PackDecodeError::Inconsistent => write!(f, "packed-tile header is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for PackDecodeError {}
+
+/// Serialized-blob magic: "APTB" = APsp Tile, B-format.
+const BLOB_MAGIC: [u8; 4] = *b"APTB";
+/// Serialized-blob format version.
+const BLOB_VERSION: u32 = 1;
+/// Fixed header: magic + version + elem width + rows/cols/kc/nc/payload_len.
+const BLOB_HEADER: usize = 4 + 4 + 4 + 5 * 8;
+
+/// Padded payload length (in elements) of a `rows × cols` operand packed
+/// with `kc × nc` tiles: every tile row is padded to the [`NR_PAD`] stride,
+/// so the total is `rows · Σ_jt pad(jb)`. `None` on overflow or zero tile
+/// sizes.
+fn packed_payload_len(rows: usize, cols: usize, kc: usize, nc: usize) -> Option<usize> {
+    if kc == 0 || nc == 0 {
+        return None;
+    }
+    let jt_count = cols.div_ceil(nc);
+    let mut padded_cols = 0usize;
+    for jt in 0..jt_count {
+        let jb = nc.min(cols - jt * nc);
+        padded_cols = padded_cols.checked_add(jb.next_multiple_of(NR_PAD))?;
+    }
+    rows.checked_mul(padded_cols)
+}
+
+impl<E: PackElem> PackedB<E> {
+    /// Size in bytes of the serialized form of a `rows × cols` operand
+    /// packed `kc × nc` — what a tile store reserves per slot.
+    ///
+    /// # Panics
+    /// Panics if `kc`/`nc` are zero or the shape overflows `usize`.
+    pub fn serialized_len(rows: usize, cols: usize, kc: usize, nc: usize) -> usize {
+        let payload =
+            packed_payload_len(rows, cols, kc, nc).expect("packed shape must be representable");
+        BLOB_HEADER + payload * E::BYTES
+    }
+
+    /// Serialize to the on-disk blob format (`APTB` header + little-endian
+    /// payload). The payload is the packed buffer verbatim — pads included —
+    /// so [`PackedB::from_bytes`] rebuilds a buffer the kernel can stream
+    /// without any repacking.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.buf.packed();
+        let mut out = Vec::with_capacity(BLOB_HEADER + payload.len() * E::BYTES);
+        out.extend_from_slice(&BLOB_MAGIC);
+        out.extend_from_slice(&BLOB_VERSION.to_le_bytes());
+        out.extend_from_slice(&(E::BYTES as u32).to_le_bytes());
+        for dim in [self.rows, self.cols, self.kc, self.nc, payload.len()] {
+            out.extend_from_slice(&(dim as u64).to_le_bytes());
+        }
+        for &v in payload {
+            v.write_le(&mut out);
+        }
+        out
+    }
+
+    /// Decode a blob produced by [`PackedB::to_bytes`]. The rebuilt value is
+    /// indistinguishable from the freshly packed original (same tiles, same
+    /// pads, same aligned layout). Corruption — wrong magic, truncation,
+    /// contradictory header fields — returns a typed [`PackDecodeError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PackDecodeError> {
+        if bytes.len() < BLOB_HEADER {
+            return Err(PackDecodeError::Truncated { needed: BLOB_HEADER, got: bytes.len() });
+        }
+        if bytes[..4] != BLOB_MAGIC {
+            return Err(PackDecodeError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        let u64_at = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
+        let version = u32_at(4);
+        if version != BLOB_VERSION {
+            return Err(PackDecodeError::BadVersion(version));
+        }
+        let elem = u32_at(8) as usize;
+        if elem != E::BYTES {
+            return Err(PackDecodeError::WrongElemSize { expected: E::BYTES, got: elem });
+        }
+        let as_usize = |v: u64| usize::try_from(v).map_err(|_| PackDecodeError::Inconsistent);
+        let rows = as_usize(u64_at(12))?;
+        let cols = as_usize(u64_at(20))?;
+        let kc = as_usize(u64_at(28))?;
+        let nc = as_usize(u64_at(36))?;
+        let payload_len = as_usize(u64_at(44))?;
+        // The payload length must match the declared shape exactly — a
+        // mismatch means the header lies about something.
+        if packed_payload_len(rows, cols, kc, nc) != Some(payload_len) {
+            return Err(PackDecodeError::Inconsistent);
+        }
+        let needed = BLOB_HEADER
+            + payload_len.checked_mul(E::BYTES).ok_or(PackDecodeError::Inconsistent)?;
+        if bytes.len() < needed {
+            return Err(PackDecodeError::Truncated { needed, got: bytes.len() });
+        }
+
+        let mut packed = Self {
+            buf: AlignedBuf::new(),
+            rows,
+            cols,
+            kc,
+            nc,
+            tile_off: Vec::new(),
+            kt_count: rows.div_ceil(kc),
+            jt_count: cols.div_ceil(nc),
+        };
+        packed.buf.ensure(payload_len, E::default());
+        let dst = packed.buf.packed_mut();
+        for (i, v) in dst.iter_mut().enumerate() {
+            *v = E::read_le(&bytes[BLOB_HEADER + i * E::BYTES..]);
+        }
+        // Rebuild tile offsets with the same walk `repack` uses.
+        packed.tile_off.reserve(packed.kt_count * packed.jt_count);
+        let mut off = 0;
+        for kt in 0..packed.kt_count {
+            let (_, kb) = packed.row_range(kt);
+            for jt in 0..packed.jt_count {
+                packed.tile_off.push(off);
+                off += kb * packed.padded_tile_width(jt);
+            }
+        }
+        debug_assert_eq!(off, payload_len);
+        Ok(packed)
+    }
+}
+
+impl<E: Copy> PackedB<E> {
+    /// Copy the live (unpadded) elements back out into a dense `rows × cols`
+    /// view — the inverse of [`PackedB::repack`]. Used by tile stores when a
+    /// packed tile must serve as the `A` or `C` operand of an update.
+    ///
+    /// # Panics
+    /// Panics if `out` is not `rows() × cols()`.
+    pub fn unpack_into(&self, out: &mut ViewMut<'_, E>) {
+        assert_eq!(out.rows(), self.rows, "unpack: row count mismatch");
+        assert_eq!(out.cols(), self.cols, "unpack: col count mismatch");
+        for kt in 0..self.kt_count {
+            let (k0, kb) = self.row_range(kt);
+            for jt in 0..self.jt_count {
+                let (j0, jb) = self.col_range(jt);
+                let stride = self.padded_tile_width(jt);
+                let tile = self.tile(kt, jt);
+                for l in 0..kb {
+                    out.row_mut(k0 + l)[j0..j0 + jb]
+                        .copy_from_slice(&tile[l * stride..l * stride + jb]);
+                }
+            }
+        }
+    }
+}
+
 /// Reusable packing buffer for one `MC × KC` slab of `A`, stored as
 /// `mr`-row column-major micro-panels (see module docs). One lives per
 /// worker thread; `pack_slab` is called per `(kc, ic)` tile pass with the
@@ -825,6 +1055,81 @@ mod tests {
         let b = Matrix::filled(2, 2, 0.0f32);
         let mut c = Matrix::filled(2, 2, 0.0f32);
         gemm_packed::<MinPlus<f32>>(&mut c.view_mut(), &a.view(), &b.view());
+    }
+
+    #[test]
+    fn serialized_round_trip_is_indistinguishable_from_the_original() {
+        // ragged shapes straddling KC/NC and the NR_PAD quantum
+        for &(rows, cols, kc, nc) in
+            &[(20, 16, 8, 8), (33, 47, 16, 32), (7, 300, 64, 256), (300, 13, 256, 512)]
+        {
+            let b = lcg_matrix(rows, cols, rows as u64 * 31 + cols as u64);
+            let pb = PackedB::pack_tiled::<MinPlus<f32>>(&b.view(), kc, nc);
+            let blob = pb.to_bytes();
+            assert_eq!(
+                blob.len(),
+                PackedB::<f32>::serialized_len(rows, cols, kc, nc),
+                "({rows},{cols},{kc},{nc})"
+            );
+            let back = PackedB::<f32>::from_bytes(&blob).unwrap();
+            assert_eq!((back.rows(), back.cols()), (rows, cols));
+            for kt in 0..pb.kt_count() {
+                for jt in 0..pb.jt_count() {
+                    assert_eq!(pb.tile(kt, jt), back.tile(kt, jt), "tile ({kt},{jt})");
+                }
+            }
+            // and the rebuilt pack feeds the kernel bit-identically
+            let a = lcg_matrix(9, rows, 77);
+            let mut c1 = Matrix::filled(9, cols, f32::INFINITY);
+            let mut c2 = c1.clone();
+            gemm_packed_with_b::<MinPlus<f32>>(&mut c1.view_mut(), &a.view(), &pb);
+            gemm_packed_with_b::<MinPlus<f32>>(&mut c2.view_mut(), &a.view(), &back);
+            assert!(c1.eq_exact(&c2));
+        }
+    }
+
+    #[test]
+    fn unpack_into_inverts_repack() {
+        let b = lcg_matrix(37, 43, 91);
+        let pb = PackedB::pack_tiled::<MinPlus<f32>>(&b.view(), 16, 32);
+        let mut out = Matrix::filled(37, 43, 0.0f32);
+        pb.unpack_into(&mut out.view_mut());
+        assert!(out.eq_exact(&b));
+    }
+
+    #[test]
+    fn decode_rejects_corruption_with_typed_errors() {
+        let b = lcg_matrix(10, 10, 5);
+        let pb = PackedB::pack_tiled::<MinPlus<f32>>(&b.view(), 8, 8);
+        let blob = pb.to_bytes();
+
+        // truncated payload
+        let got = PackedB::<f32>::from_bytes(&blob[..blob.len() - 3]);
+        assert!(matches!(got, Err(PackDecodeError::Truncated { .. })), "{got:?}");
+        // truncated header
+        let got = PackedB::<f32>::from_bytes(&blob[..10]);
+        assert!(matches!(got, Err(PackDecodeError::Truncated { .. })), "{got:?}");
+        // bad magic
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert_eq!(PackedB::<f32>::from_bytes(&bad).unwrap_err(), PackDecodeError::BadMagic);
+        // bad version
+        let mut bad = blob.clone();
+        bad[4] = 99;
+        assert_eq!(PackedB::<f32>::from_bytes(&bad).unwrap_err(), PackDecodeError::BadVersion(99));
+        // wrong element width (decode as f64)
+        assert_eq!(
+            PackedB::<f64>::from_bytes(&blob).unwrap_err(),
+            PackDecodeError::WrongElemSize { expected: 8, got: 4 }
+        );
+        // zero tile size in the header must not reach div_ceil(0)
+        let mut bad = blob.clone();
+        bad[28..36].fill(0); // kc = 0
+        assert_eq!(PackedB::<f32>::from_bytes(&bad).unwrap_err(), PackDecodeError::Inconsistent);
+        // payload length contradicting the declared shape
+        let mut bad = blob;
+        bad[44] ^= 1;
+        assert_eq!(PackedB::<f32>::from_bytes(&bad).unwrap_err(), PackDecodeError::Inconsistent);
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod matrix;
 pub mod panel;
 pub mod semiring;
 
-pub use gemm::{gemm, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel, GemmAlgo, PackedB};
+pub use gemm::{
+    gemm, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel, GemmAlgo, PackDecodeError,
+    PackElem, PackedB,
+};
 pub use matrix::{Matrix, View, ViewMut};
 pub use semiring::{BoolOr, MaxMin, MaxPlus, MinPlus, RealArith, Semiring};
 
