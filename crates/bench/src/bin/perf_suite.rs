@@ -6,10 +6,11 @@
 //! ```
 //!
 //! `run` measures the GEMM kernels (incl. the headline packed-vs-blocked
-//! entry), blocked FW, the 2×2×2 distributed policy cube, and the headline
-//! baseline-vs-budgeted distributed run, and writes the `apsp-bench-perf/1`
-//! JSON to `--out` (default `BENCH_PR8.json`; `-` for stdout). Progress
-//! goes to stderr.
+//! entry and the quantized u16/i32 packed lanes), blocked FW, the 2×2×2
+//! distributed policy cube, the headline baseline-vs-budgeted distributed
+//! run, and the quantized end-to-end solve, and writes the
+//! `apsp-bench-perf/1` JSON to `--out` (default `BENCH_PR10.json`; `-` for
+//! stdout). Progress goes to stderr.
 //!
 //! `compare` diffs two suite files by entry name and exits non-zero when
 //! any benchmark regressed by more than the threshold (default 15%), unless
@@ -41,7 +42,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> ExitCode {
     let mut mode = Mode::Full;
     let mut reps = 3usize;
-    let mut out = "BENCH_PR8.json".to_string();
+    let mut out = "BENCH_PR10.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

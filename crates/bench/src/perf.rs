@@ -14,10 +14,16 @@
 //! do the same for the planner: each generator family records the
 //! planner-chosen solver against forced dense-blocked.
 //!
+//! The `gemm/packed/minplus_u16` / `gemm/packed/minplus_i32` entries run
+//! the same packed kernel over the saturating integer semirings at the
+//! f32 headline size (baseline = packed f32), and `quant/solve_vs_f32`
+//! records the quantized end-to-end solve against f32 blocked FW.
+//!
 //! Schema (`apsp-bench-perf/1`): a top-level object with `schema`, `mode`,
 //! `reps`, `available_parallelism`, and `entries`; each entry has `name`
 //! (stable across runs — sizes live in `params`), `group`, `params`
-//! (numeric), `wall_s` (minimum over `reps`), and optionally `gflops`,
+//! (numeric), `wall_s` (minimum over `reps`), and optionally `dtype`
+//! (element type; the comparator refuses cross-dtype joins), `gflops`,
 //! `baseline_wall_s`, `speedup`. Entry names are the comparator's join key.
 
 use std::time::Instant;
@@ -25,7 +31,7 @@ use std::time::Instant;
 use apsp_core::{distributed_apsp, fw_blocked, DiagMethod, Exec, FwConfig, PanelBcastAlgo, Schedule};
 use apsp_graph::generators::{self, WeightKind};
 use srgemm::gemm::{gemm_blocked, gemm_flops, gemm_naive, gemm_packed, gemm_parallel};
-use srgemm::{Matrix, MinPlus, Semiring};
+use srgemm::{Matrix, MinPlus, MinPlusSatI32, MinPlusSatU16, Semiring};
 
 use crate::json::Json;
 
@@ -41,12 +47,19 @@ pub const DEFAULT_THRESHOLD: f64 = 0.15;
 pub struct Entry {
     /// Stable identity (comparator join key); sizes go in `params`.
     pub name: String,
-    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`, `solver`, `ooc`, `serve`.
+    /// Coarse grouping: `gemm`, `fw`, `dist`, `dist_e2e`, `solver`, `quant`,
+    /// `ooc`, `serve`.
     pub group: String,
     /// Numeric parameters of the run (n, block, grid, …).
     pub params: Vec<(String, f64)>,
     /// Best (minimum) wall-clock seconds over the suite's repetitions.
     pub wall_s: f64,
+    /// Element dtype the kernel ran over (`f32`, `f64`, `u16`, `i32`),
+    /// when one is defined. The comparator refuses to join two entries
+    /// whose dtypes differ: a quantized `u16` run is 2–4× wider in SIMD
+    /// lanes than the `f32` baseline and must never silently diff
+    /// against it.
+    pub dtype: Option<String>,
     /// Throughput at `wall_s`, when a flop count is defined.
     pub gflops: Option<f64>,
     /// Wall-clock of the pre-PR configuration, for entries that carry
@@ -89,6 +102,9 @@ impl Report {
                     ),
                     ("wall_s".to_string(), Json::Num(e.wall_s)),
                 ];
+                if let Some(d) = &e.dtype {
+                    fields.push(("dtype".to_string(), Json::Str(d.clone())));
+                }
                 if let Some(g) = e.gflops {
                     fields.push(("gflops".to_string(), Json::Num(g)));
                 }
@@ -164,6 +180,7 @@ impl Report {
                 group,
                 params,
                 wall_s,
+                dtype: e.get("dtype").and_then(Json::as_str).map(String::from),
                 gflops: e.get("gflops").and_then(Json::as_f64),
                 baseline_wall_s: e.get("baseline_wall_s").and_then(Json::as_f64),
                 speedup: e.get("speedup").and_then(Json::as_f64),
@@ -243,7 +260,9 @@ impl CompareReport {
 }
 
 /// Compare two suite reports by entry name. Refuses to compare different
-/// modes (quick-vs-full timings are not commensurable).
+/// modes (quick-vs-full timings are not commensurable) and refuses any
+/// per-entry join across element dtypes (a u16 run must never silently
+/// diff against an f32 baseline).
 pub fn compare(old: &Report, new: &Report, threshold: f64) -> Result<CompareReport, String> {
     if old.mode != new.mode {
         return Err(format!(
@@ -256,6 +275,16 @@ pub fn compare(old: &Report, new: &Report, threshold: f64) -> Result<CompareRepo
     for e in &new.entries {
         match old.entries.iter().find(|o| o.name == e.name) {
             Some(o) => {
+                if o.dtype != e.dtype {
+                    let show = |d: &Option<String>| d.clone().unwrap_or_else(|| "none".into());
+                    return Err(format!(
+                        "refusing to compare `{}`: element dtype `{}` vs `{}` \
+                         (lane widths differ; timings are not commensurable)",
+                        e.name,
+                        show(&o.dtype),
+                        show(&e.dtype)
+                    ));
+                }
                 let ratio = if o.wall_s > 0.0 { e.wall_s / o.wall_s } else { f64::INFINITY };
                 let kind = if ratio > 1.0 + threshold {
                     DeltaKind::Regression
@@ -284,7 +313,7 @@ pub fn compare(old: &Report, new: &Report, threshold: f64) -> Result<CompareRepo
     Ok(CompareReport { deltas, added, removed, threshold })
 }
 
-/// Suite sizing: `full` produces the committed `BENCH_PR5.json`; `quick`
+/// Suite sizing: `full` produces the committed `BENCH_PR10.json`; `quick`
 /// is the CI smoke (seconds, not minutes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {
@@ -415,6 +444,7 @@ where
                 group: "gemm".to_string(),
                 params: vec![("n".to_string(), n as f64)],
                 wall_s,
+                dtype: Some(elem.to_string()),
                 gflops: Some(flops / wall_s / 1e9),
                 baseline_wall_s: None,
                 speedup: None,
@@ -449,7 +479,7 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
     // register-tiled micro-kernel's arithmetic density dominates, carrying
     // the speedup in the artifact like the distributed headline below.
     eprintln!("[perf] gemm headline (packed vs blocked), n = {}", sz.gemm_headline_n);
-    {
+    let packed_f32_wall_s = {
         let n = sz.gemm_headline_n;
         let a = lcg_matrix_f32(n, 55);
         let b = lcg_matrix_f32(n, 66);
@@ -474,10 +504,83 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
             group: "gemm".to_string(),
             params: vec![("n".to_string(), n as f64)],
             wall_s,
+            dtype: Some("f32".to_string()),
             gflops: Some(flops / wall_s / 1e9),
             baseline_wall_s: Some(baseline_wall_s),
             speedup: Some(baseline_wall_s / wall_s),
         });
+        wall_s
+    };
+
+    // --- quantized packed kernels: u16/i32 saturating lanes vs packed f32 --
+    // Same packed kernel, same n as the f32 headline above; the only change
+    // is the element width, so `speedup` here is exactly the lane-width win
+    // (elements retired per second relative to the f32 datapath). u16 packs
+    // 2× the lanes of f32 per vector register, i32 the same count but with
+    // integer min/add ports; the acceptance bar for u16 is ≥ 1.8× on
+    // AVX-512 (≥ 1.4× on AVX2).
+    eprintln!("[perf] gemm quantized lanes (u16/i32 vs packed f32), n = {}", sz.gemm_headline_n);
+    {
+        let n = sz.gemm_headline_n;
+        let flops = gemm_flops(n, n, n);
+        let mk_u16 = |seed: u64| {
+            let mut state = seed | 1;
+            Matrix::from_fn(n, n, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 1000) as u16
+            })
+        };
+        let mk_i32 = |seed: u64| {
+            let mut state = seed | 1;
+            Matrix::from_fn(n, n, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 1000) as i32
+            })
+        };
+        {
+            let (a, b, c0) = (mk_u16(55), mk_u16(66), mk_u16(77));
+            let wall_s = time_min(
+                reps,
+                || c0.clone(),
+                |mut c| gemm_packed::<MinPlusSatU16>(&mut c.view_mut(), &a.view(), &b.view()),
+            );
+            eprintln!(
+                "  gemm/packed/minplus_u16: {wall_s:.6}s, x{:.3} vs packed f32",
+                packed_f32_wall_s / wall_s
+            );
+            entries.push(Entry {
+                name: "gemm/packed/minplus_u16".to_string(),
+                group: "gemm".to_string(),
+                params: vec![("n".to_string(), n as f64)],
+                wall_s,
+                dtype: Some("u16".to_string()),
+                gflops: Some(flops / wall_s / 1e9),
+                baseline_wall_s: Some(packed_f32_wall_s),
+                speedup: Some(packed_f32_wall_s / wall_s),
+            });
+        }
+        {
+            let (a, b, c0) = (mk_i32(55), mk_i32(66), mk_i32(77));
+            let wall_s = time_min(
+                reps,
+                || c0.clone(),
+                |mut c| gemm_packed::<MinPlusSatI32>(&mut c.view_mut(), &a.view(), &b.view()),
+            );
+            eprintln!(
+                "  gemm/packed/minplus_i32: {wall_s:.6}s, x{:.3} vs packed f32",
+                packed_f32_wall_s / wall_s
+            );
+            entries.push(Entry {
+                name: "gemm/packed/minplus_i32".to_string(),
+                group: "gemm".to_string(),
+                params: vec![("n".to_string(), n as f64)],
+                wall_s,
+                dtype: Some("i32".to_string()),
+                gflops: Some(flops / wall_s / 1e9),
+                baseline_wall_s: Some(packed_f32_wall_s),
+                speedup: Some(packed_f32_wall_s / wall_s),
+            });
+        }
     }
 
     // --- Blocked Floyd-Warshall ------------------------------------------
@@ -499,6 +602,7 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                 ("block".to_string(), sz.fw_b as f64),
             ],
             wall_s,
+            dtype: Some("f32".to_string()),
             gflops: Some(flops / wall_s / 1e9),
             baseline_wall_s: None,
             speedup: None,
@@ -540,6 +644,7 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                             ("pc".to_string(), 2.0),
                         ],
                         wall_s,
+                        dtype: Some("f32".to_string()),
                         gflops: None,
                         baseline_wall_s: None,
                         speedup: None,
@@ -593,6 +698,7 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                 ("pc".to_string(), 2.0),
             ],
             wall_s,
+            dtype: Some("f32".to_string()),
             gflops: Some(flops / wall_s / 1e9),
             baseline_wall_s: Some(baseline_wall_s),
             speedup: Some(baseline_wall_s / wall_s),
@@ -652,11 +758,63 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                     ("block".to_string(), sz.solver_b as f64),
                 ],
                 wall_s,
+                dtype: Some("f32".to_string()),
                 gflops: None,
                 baseline_wall_s: Some(baseline_wall_s),
                 speedup: Some(baseline_wall_s / wall_s),
             });
         }
+    }
+
+    // --- quantized end-to-end solve vs f32 blocked FW ---------------------
+    // The headline for the low-precision path: quantize → integer blocked
+    // FW in saturating u16/i32 lanes → dequantize, measured end to end
+    // (quantize and dequantize passes charged to `wall_s`), against the
+    // same blocked FW over f32 on the same graph. Integral small-int
+    // weights make the quantized result bit-exact here, so the speedup is
+    // pure lane-width win, not an accuracy trade.
+    eprintln!(
+        "[perf] quant solve vs f32 blocked, n = {}, b = {}",
+        sz.headline_n, sz.headline_b
+    );
+    {
+        use apsp_core::quant;
+        let g = generators::erdos_renyi(sz.headline_n, 0.02, WeightKind::small_ints(), 9);
+        let plan = quant::plan_for_graph(&g, 1e-3).expect("small-int weights quantize");
+        let input = g.to_dense();
+        let baseline_wall_s = time_min(
+            reps,
+            || input.clone(),
+            |mut d| fw_blocked::<MinPlus<f32>>(&mut d, sz.headline_b, DiagMethod::FwClosure, true),
+        );
+        let wall_s = time_min(
+            reps,
+            || (),
+            |()| {
+                quant::solve_quantized(&g, &plan, sz.headline_b, true);
+            },
+        );
+        let flops = 2.0 * (sz.headline_n as f64).powi(3);
+        eprintln!(
+            "  quant/solve_vs_f32: f32 {baseline_wall_s:.6}s, {} {wall_s:.6}s, x{:.3}",
+            plan.dtype.name(),
+            baseline_wall_s / wall_s
+        );
+        entries.push(Entry {
+            name: "quant/solve_vs_f32".to_string(),
+            group: "quant".to_string(),
+            params: vec![
+                ("n".to_string(), sz.headline_n as f64),
+                ("block".to_string(), sz.headline_b as f64),
+                ("scale".to_string(), plan.scale),
+                ("eps".to_string(), plan.eps),
+            ],
+            wall_s,
+            dtype: Some(plan.dtype.name().to_string()),
+            gflops: Some(flops / wall_s / 1e9),
+            baseline_wall_s: Some(baseline_wall_s),
+            speedup: Some(baseline_wall_s / wall_s),
+        });
     }
 
     // --- out-of-core: staged (file store, tight budget) vs in-memory ------
@@ -712,6 +870,7 @@ pub fn run_suite(mode: Mode, reps: usize) -> Report {
                 ("budget".to_string(), budget as f64),
             ],
             wall_s,
+            dtype: Some("f32".to_string()),
             gflops: Some(2.0 * (n as f64).powi(3) / wall_s / 1e9),
             baseline_wall_s: Some(baseline_wall_s),
             speedup: Some(baseline_wall_s / wall_s),
@@ -760,6 +919,7 @@ mod tests {
             group: "gemm".to_string(),
             params: vec![("n".to_string(), 64.0)],
             wall_s,
+            dtype: Some("f32".to_string()),
             gflops: Some(1.0),
             baseline_wall_s: None,
             speedup: None,
@@ -836,6 +996,53 @@ mod tests {
         let mut new = report(vec![]);
         new.mode = "quick".to_string();
         assert!(compare(&old, &new, 0.15).is_err());
+    }
+
+    #[test]
+    fn comparator_refuses_cross_dtype_joins() {
+        // same entry name, different element dtype: a u16 run must never
+        // silently diff against an f32 baseline
+        let old = report(vec![entry("gemm/packed/minplus", 1.0)]);
+        let mut quant = entry("gemm/packed/minplus", 0.4);
+        quant.dtype = Some("u16".to_string());
+        let new = report(vec![quant]);
+        let err = compare(&old, &new, 0.15).unwrap_err();
+        assert!(err.contains("dtype"), "err: {err}");
+        assert!(err.contains("f32") && err.contains("u16"), "err: {err}");
+        // a missing dtype is also not joinable against a recorded one
+        let mut untyped = entry("gemm/packed/minplus", 1.0);
+        untyped.dtype = None;
+        let old = report(vec![untyped]);
+        assert!(compare(&old, &new, 0.15).is_err());
+        // matching dtypes (both None, both Some) still join fine
+        let both_none = |w| {
+            let mut e = entry("x", w);
+            e.dtype = None;
+            report(vec![e])
+        };
+        assert!(compare(&both_none(1.0), &both_none(1.1), 0.15).is_ok());
+    }
+
+    #[test]
+    fn dtype_survives_the_json_round_trip_and_stays_optional() {
+        let mut typed = entry("gemm/packed/minplus_u16", 0.5);
+        typed.dtype = Some("u16".to_string());
+        let mut untyped = entry("serve/load", 1.0);
+        untyped.dtype = None;
+        let r = report(vec![typed, untyped]);
+        let text = r.to_json().pretty();
+        assert!(text.contains("\"dtype\""));
+        let back = Report::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // pre-dtype artifacts (no `dtype` key anywhere) still parse
+        let legacy = Json::parse(
+            r#"{"schema":"apsp-bench-perf/1","mode":"full","reps":1,
+                "available_parallelism":1,
+                "entries":[{"name":"x","group":"gemm","wall_s":1.0}]}"#,
+        )
+        .unwrap();
+        let legacy = Report::from_json(&legacy).unwrap();
+        assert_eq!(legacy.entries[0].dtype, None);
     }
 
     #[test]

@@ -449,6 +449,7 @@ impl LoadReport {
                 group: "serve".to_string(),
                 params: params.clone(),
                 wall_s: self.p50_us / 1e6,
+                dtype: None,
                 gflops: None,
                 baseline_wall_s: None,
                 speedup: None,
@@ -458,6 +459,7 @@ impl LoadReport {
                 group: "serve".to_string(),
                 params: params.clone(),
                 wall_s: self.p99_us / 1e6,
+                dtype: None,
                 gflops: None,
                 baseline_wall_s: None,
                 speedup: None,
@@ -467,6 +469,7 @@ impl LoadReport {
                 group: "serve".to_string(),
                 params,
                 wall_s: self.duration_s,
+                dtype: None,
                 gflops: None,
                 baseline_wall_s: None,
                 speedup: None,

@@ -19,7 +19,7 @@ USAGE:
 RUN OPTIONS:
     --quick          CI-smoke sizes (seconds); default is the full suite
     --reps N         repetitions per entry, wall_s is the minimum [default: 3]
-    --out FILE       output path [default: BENCH_PR8.json]; '-' for stdout
+    --out FILE       output path [default: BENCH_PR10.json]; '-' for stdout
 
 COMPARE OPTIONS:
     --threshold PCT  regression threshold in percent [default: 15]
@@ -39,11 +39,14 @@ SERVE-LOAD OPTIONS:
 
 The suite measures the GEMM kernels (naive/blocked/packed/parallel x
 f32/f64), the headline packed-vs-blocked GEMM (baseline_wall_s vs wall_s),
-blocked Floyd-Warshall, distributed_apsp at all 8 corners of the
-(schedule x bcast x exec) cube, the headline distributed run with its
-serial-OuterUpdate baseline (baseline_wall_s vs wall_s), the solver
-planner picks, and the serve-layer load generator (p50/p99 batched-query
-latency and epoch lag under update pressure).";
+the quantized u16/i32 packed lanes against packed f32, blocked
+Floyd-Warshall, the quantized end-to-end solve against f32 blocked FW,
+distributed_apsp at all 8 corners of the (schedule x bcast x exec) cube,
+the headline distributed run with its serial-OuterUpdate baseline
+(baseline_wall_s vs wall_s), the solver planner picks, and the serve-layer
+load generator (p50/p99 batched-query latency and epoch lag under update
+pressure). Entries record their element dtype; the comparator refuses
+cross-dtype joins.";
 
 /// Entry point for `apsp bench`.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -62,7 +65,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 fn run_suite(args: &[String]) -> Result<(), String> {
     let mut mode = Mode::Full;
     let mut reps = 3usize;
-    let mut out = "BENCH_PR8.json".to_string();
+    let mut out = "BENCH_PR10.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

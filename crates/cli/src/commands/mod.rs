@@ -173,11 +173,23 @@ pub fn build_solve_opts(args: &crate::args::Args) -> Result<apsp_core::SolveOpts
     let threads: usize =
         if args.has_flag("serial") { 1 } else { args.opt("threads", 0)? };
     let memory_budget = args.opt_str("memory-budget").map(parse_byte_size).transpose()?;
+    let error_tolerance = args
+        .opt_str("error-tolerance")
+        .map(|s| {
+            s.parse::<f64>().map_err(|_| format!("--error-tolerance: '{s}' is not a number"))
+        })
+        .transpose()?;
+    if let Some(t) = error_tolerance {
+        if !t.is_finite() || t < 0.0 {
+            return Err("--error-tolerance must be a non-negative finite number".into());
+        }
+    }
     let (schedule, bcast, exec) = resolve_axes(args, "pipelined")?;
     Ok(apsp_core::SolveOpts {
         block,
         threads,
         memory_budget,
+        error_tolerance,
         grid: (args.opt("pr", 2)?, args.opt("pc", 2)?),
         dist: apsp_core::FwConfig::from_axes(block, schedule, bcast, exec),
         dist_run: apsp_core::DistRunOpts {

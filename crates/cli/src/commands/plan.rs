@@ -15,6 +15,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
   --block <N>        block size the tiled solvers would use (default 64)
   --threads <N>      worker cap the estimates assume (0 = all cores)
   --memory-budget <BYTES[k|m|g]>  working-set ceiling for eligibility
+  --error-tolerance <EPS>  opt in to the quantized low-precision solver row
   --pr <N> --pc <N>  process grid assumed for the dist row (default 2x2)
   --format <dimacs|edges>"
         );

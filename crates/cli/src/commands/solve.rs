@@ -25,6 +25,9 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
   --threads <N>      cap worker threads (0 = all cores)
   --serial           shorthand for --threads 1
   --memory-budget <BYTES[k|m|g]>  working-set ceiling for planner eligibility
+  --error-tolerance <EPS>  opt in to low-precision solves (--algo quant / q16 /
+                     q32): accept distances within ±EPS of exact (0 = only
+                     provably exact quantizations)
   --out <FILE>       write the distance matrix as TSV (careful: n² values)
   --format <dimacs|edges>
   --trace <FILE>     write a per-rank Chrome trace_events JSON and print the
@@ -233,6 +236,57 @@ mod tests {
         for o in &outputs[1..] {
             assert_eq!(o, &outputs[0]);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_solve_is_opt_in_and_matches_fw_on_integer_weights() {
+        let (dir, input) = fixture();
+        // without --error-tolerance the quantized solver refuses, typed
+        let err = run(&toks(&format!("--input {} --algo quant", input.display()))).unwrap_err();
+        assert!(err.contains("quant: ineligible"), "{err}");
+        assert!(err.contains("--error-tolerance"), "{err}");
+        // with the opt-in: exact on the small-integer fixture, through both
+        // the canonical name and the q16/q32 aliases
+        let want = dir.join("fw.tsv");
+        run(&toks(&format!("--input {} --algo fw --out {}", input.display(), want.display())))
+            .unwrap();
+        let want = std::fs::read_to_string(&want).unwrap();
+        for algo in ["quant", "q16", "q32"] {
+            let out = dir.join(format!("{algo}.tsv"));
+            let cmd = format!(
+                "--input {} --algo {algo} --block 4 --error-tolerance 0 --out {}",
+                input.display(),
+                out.display()
+            );
+            run(&toks(&cmd)).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert_eq!(std::fs::read_to_string(&out).unwrap(), want, "{algo}");
+        }
+        // junk tolerances are rejected before any solving happens
+        for bad in ["--error-tolerance pi", "--error-tolerance -0.5"] {
+            let cmd = format!("--input {} --algo quant {bad}", input.display());
+            assert!(run(&toks(&cmd)).is_err(), "{bad} should be rejected");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quant_overflow_surfaces_as_a_typed_cli_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "apsp-solve-overflow-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("huge.gr");
+        // a 3e9 edge weight cannot fit below the i32 sentinel at any scale
+        let mut b = apsp_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 3.0e9).add_edge(1, 2, 1.0);
+        crate::commands::save_graph(&b.build(), input.to_str().unwrap(), None).unwrap();
+        let cmd = format!("--input {} --algo quant --error-tolerance 1", input.display());
+        let err = run(&toks(&cmd)).unwrap_err();
+        assert!(err.contains("quant: ineligible"), "{err}");
+        assert!(err.contains("overflow"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

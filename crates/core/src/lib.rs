@@ -37,6 +37,12 @@
 //!   [`serve::Snapshot`]s while a single writer streams
 //!   [`incremental`](mod@incremental) decrease batches and publishes new
 //!   epochs; spoken over a line protocol by `apsp serve`.
+//! * [`quant`] — low-precision quantized solves: scale-and-round weights
+//!   into `u16`/`i32`, run blocked FW over the saturating integer min-plus
+//!   semirings (2–4× the SIMD lanes of `f32` through the same packed
+//!   kernel), and dequantize under a provable `±eps` bound, with typed
+//!   overflow/tolerance rejection ([`quant::QuantError`]) decided before
+//!   any work happens.
 //! * [`solver`] — one [`Solver`] registry over every APSP algorithm in the
 //!   workspace (dense FW, block-sparse, Johnson, Dijkstra, Δ-stepping,
 //!   Seidel, the distributed driver), a one-pass [`GraphProfile`], and a
@@ -67,6 +73,7 @@ pub mod incremental;
 pub mod model;
 pub mod ooc;
 pub mod paths_dist;
+pub mod quant;
 pub mod schedule;
 pub mod serve;
 pub mod solver;

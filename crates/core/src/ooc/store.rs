@@ -196,8 +196,17 @@ impl TileStore for MemStore {
 
 /// Store-file magic ("APsp Tile Store 1").
 const FILE_MAGIC: [u8; 8] = *b"APSPTS01";
-/// Fixed file header: magic + elem width (u32) + n/tile/slot (u64 each).
+/// Fixed file header: magic + elem field (u32) + n/tile/slot (u64 each).
+/// The elem field packs the byte width in its low 16 bits and the
+/// [`PackElem`] dtype code in the high 16, mirroring the per-blob `APTB`
+/// header — so a store written as i32 cannot be opened as f32 even though
+/// both have 4-byte elements and identical slot capacities.
 const FILE_HEADER: usize = 8 + 4 + 3 * 8;
+
+/// The elem field a store of element type `E` carries.
+fn elem_field<E: PackElem>() -> u32 {
+    (E::BYTES as u32) | ((E::CODE as u32) << 16)
+}
 
 /// Reply channel for an asynchronous slot read.
 type ReadReply = Receiver<Result<Vec<u8>, StoreError>>;
@@ -280,7 +289,7 @@ impl FileStore {
             .map_err(|e| io_err("open", e))?;
         let mut header = Vec::with_capacity(FILE_HEADER);
         header.extend_from_slice(&FILE_MAGIC);
-        header.extend_from_slice(&(E::BYTES as u32).to_le_bytes());
+        header.extend_from_slice(&elem_field::<E>().to_le_bytes());
         for v in [n as u64, tile as u64, slot_cap as u64] {
             header.extend_from_slice(&v.to_le_bytes());
         }
@@ -306,10 +315,21 @@ impl FileStore {
         if header[..8] != FILE_MAGIC {
             return Err(StoreError::BadHeader { detail: "wrong magic".into() });
         }
-        let elem = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
-        if elem != E::BYTES {
+        let elem = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let width = (elem & 0xFFFF) as usize;
+        let code = (elem >> 16) as u8;
+        if width != E::BYTES {
             return Err(StoreError::BadHeader {
-                detail: format!("element width {elem}, expected {}", E::BYTES),
+                detail: format!("element width {width}, expected {}", E::BYTES),
+            });
+        }
+        if code != E::CODE {
+            return Err(StoreError::BadHeader {
+                detail: format!(
+                    "element dtype {}, expected {}",
+                    srgemm::gemm::dtype_name(code),
+                    E::DTYPE
+                ),
             });
         }
         let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().unwrap());

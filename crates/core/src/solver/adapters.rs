@@ -18,10 +18,11 @@ use crate::fw_sparse::fw_block_sparse;
 use crate::ooc::{
     choose_tile, solve_in_store, staged_budget_floor, FileStore, MemStore, OocConfig, OocError,
 };
+use crate::quant::{self, QuantDtype, QuantPlan};
 
 use super::planner::{
     delta_sweep_seconds, dense_flops, sssp_sweep_seconds, T_DISK, T_FLOP_BLOCKED, T_FLOP_PACKED,
-    T_FLOP_SEQ, T_RELAX,
+    T_FLOP_SEQ, T_QUANT_I32, T_QUANT_U16, T_RELAX,
     T_SIM_RANK,
 };
 use super::{
@@ -33,6 +34,7 @@ use super::{
 pub fn all() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(Blocked),
+        Box::new(Quant),
         Box::new(Dc),
         Box::new(FwSeq),
         Box::new(Ooc),
@@ -95,6 +97,97 @@ impl Solver for Blocked {
             fw_blocked::<MinPlusF32>(&mut d, opts.block.max(1), DiagMethod::FwClosure, threads > 1)
         });
         Ok(solution(d, self.name(), threads))
+    }
+}
+
+/// Quantized integer blocked FW: weights scaled-and-rounded into `u16` or
+/// `i32` saturating min-plus lanes (2–4× the SIMD width of `f32` through
+/// the same packed kernel), dequantized under a provable `±eps` bound.
+/// Opt-in via [`SolveOpts::error_tolerance`] — never silently substituted
+/// for the exact `f32` path.
+struct Quant;
+
+impl Quant {
+    /// The quantization plan for this profile, or the typed reason there
+    /// is none. Without an `error_tolerance` opt-in the answer is always
+    /// [`Ineligible::NeedsTolerance`], carrying the bound a quantized
+    /// solve *could* achieve here.
+    fn quant_plan(profile: &GraphProfile, opts: &SolveOpts) -> Result<QuantPlan, Ineligible> {
+        let attempt = |tol: f64| {
+            quant::plan(
+                profile.n,
+                profile.min_weight,
+                profile.max_weight,
+                profile.integral_weights,
+                tol,
+            )
+        };
+        match opts.error_tolerance {
+            Some(tol) => attempt(tol).map_err(Ineligible::Quant),
+            None => match attempt(f64::INFINITY) {
+                Ok(p) => Err(Ineligible::NeedsTolerance { eps: p.eps }),
+                Err(e) => Err(Ineligible::Quant(e)),
+            },
+        }
+    }
+}
+
+impl Solver for Quant {
+    fn name(&self) -> &'static str {
+        "quant"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["q16", "q32"]
+    }
+    fn description(&self) -> &'static str {
+        "quantized integer blocked FW (u16/i32 saturating lanes, ±eps bound)"
+    }
+    fn check(&self, profile: &GraphProfile, opts: &SolveOpts) -> Result<(), Ineligible> {
+        Self::quant_plan(profile, opts).map(|_| ())
+    }
+    fn working_set_bytes(&self, profile: &GraphProfile, opts: &SolveOpts) -> u64 {
+        let ebytes = Self::quant_plan(profile, opts).map(|p| p.dtype.bytes()).unwrap_or(4) as u64;
+        let n = profile.n as u64;
+        // quantized matrix + dequantized f32 result + two pack panels
+        n * n * ebytes + profile.dense_bytes + 2 * n * opts.block.max(1) as u64 * ebytes
+    }
+    fn estimate(&self, profile: &GraphProfile, opts: &SolveOpts) -> Estimate {
+        let t = opts.effective_threads();
+        let (t_flop, lane) = match Self::quant_plan(profile, opts) {
+            Ok(QuantPlan { dtype: QuantDtype::U16, .. }) => (T_QUANT_U16, "u16"),
+            _ => (T_QUANT_I32, "i32"),
+        };
+        Estimate {
+            seconds: dense_flops(profile.n) * t_flop / t as f64,
+            detail: format!("2n³ · t_quant({lane}) / threads"),
+        }
+    }
+    fn solve(&self, g: &Graph, opts: &SolveOpts) -> Result<Solution, SolveError> {
+        let profile = GraphProfile::compute(g, opts.block);
+        let plan = Self::quant_plan(&profile, opts)
+            .map_err(|reason| SolveError::Ineligible { solver: self.name(), reason })?;
+        let threads = opts.effective_threads();
+        let d = with_thread_cap(opts.threads, || {
+            quant::solve_quantized(g, &plan, opts.block.max(1), threads > 1)
+        });
+        let mut sol = solution(d, self.name(), threads);
+        sol.stats.notes.push(format!(
+            "quant: {} lanes, scale {}, {}",
+            plan.dtype.name(),
+            plan.scale,
+            if plan.exact {
+                "bit-exact".to_string()
+            } else {
+                format!("|error| <= {:.3e}", plan.eps)
+            }
+        ));
+        sol.stats.metrics.extend([
+            ("quant_elem_bytes", plan.dtype.bytes() as f64),
+            ("quant_scale", plan.scale),
+            ("quant_eps", plan.eps),
+            ("quant_exact", if plan.exact { 1.0 } else { 0.0 }),
+        ]);
+        Ok(sol)
     }
 }
 
@@ -589,7 +682,9 @@ mod tests {
         let reg = Registry::with_all();
         let g = unit_fixture(24, 14, 9);
         let want = reference(&g);
-        let opts = SolveOpts { block: 4, ..Default::default() };
+        // tolerance opt-in so the quantized solver is eligible too (unit
+        // weights make it bit-exact, so eq_exact still applies)
+        let opts = SolveOpts { block: 4, error_tolerance: Some(0.0), ..Default::default() };
         for name in reg.names() {
             let sol = reg.solve(name, &g, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(sol.dist.eq_exact(&want), "{name} disagrees with fw_seq");
@@ -602,7 +697,7 @@ mod tests {
     fn aliases_resolve_to_the_same_solver() {
         let reg = Registry::with_all();
         for (alias, canonical) in
-            [("dense", "blocked"), ("packed", "blocked"), ("seq", "fw"), ("block-sparse", "sparse"), ("delta-stepping", "delta"), ("out-of-core", "ooc"), ("staged", "ooc")]
+            [("dense", "blocked"), ("packed", "blocked"), ("seq", "fw"), ("block-sparse", "sparse"), ("delta-stepping", "delta"), ("out-of-core", "ooc"), ("staged", "ooc"), ("q16", "quant"), ("q32", "quant")]
         {
             assert_eq!(reg.get(alias).unwrap().name(), canonical, "{alias}");
         }
@@ -686,7 +781,12 @@ mod tests {
     fn memory_budget_zero_makes_everything_ineligible() {
         let reg = Registry::with_all();
         let g = unit_fixture(12, 4, 3);
-        let opts = SolveOpts { memory_budget: Some(0), ..Default::default() };
+        // tolerance opt-in so even quant reaches the uniform budget screen
+        let opts = SolveOpts {
+            memory_budget: Some(0),
+            error_tolerance: Some(1.0),
+            ..Default::default()
+        };
         let plan = reg.plan(&g, &opts);
         assert!(plan.chosen.is_none());
         assert!(plan
@@ -791,6 +891,7 @@ mod tests {
             mean_weight: 5.0,
             negative_edges: 0,
             unit_weights: false,
+            integral_weights: true,
             symmetric: false,
             weak_components: 1,
             block_size: opts.block,
@@ -807,6 +908,78 @@ mod tests {
         let ring = generators::ring_with_chords(4096, WeightKind::small_ints(), 3);
         let ring_pick = reg.plan(&ring, &opts).chosen.expect("ring plan");
         assert_eq!(ring_pick, "delta", "ring chose {ring_pick}");
+    }
+
+    #[test]
+    fn quant_is_opt_in_and_exact_on_integral_weights() {
+        let reg = Registry::with_all();
+        let g = generators::uniform_dense(32, WeightKind::small_ints(), 13);
+        // without --error-tolerance: typed NeedsTolerance, never auto-chosen
+        match reg.solve("quant", &g, &SolveOpts::default()) {
+            Err(SolveError::Ineligible {
+                solver: "quant",
+                reason: Ineligible::NeedsTolerance { eps },
+            }) => assert_eq!(eps, 0.0, "integral weights are exactly quantizable"),
+            other => panic!("expected NeedsTolerance, got {:?}", other.map(|s| s.solver)),
+        }
+        assert_ne!(reg.plan(&g, &SolveOpts::default()).chosen, Some("quant"));
+        // with the opt-in: eligible, bit-exact, and cheap enough that the
+        // planner learns the new tradeoff and auto-selects it
+        let opts = SolveOpts { error_tolerance: Some(1e-3), ..Default::default() };
+        let sol = reg.solve("quant", &g, &opts).unwrap();
+        assert!(sol.dist.eq_exact(&reference(&g)));
+        assert!(sol.stats.notes.iter().any(|n| n.contains("u16")), "{:?}", sol.stats.notes);
+        let metric = |k: &str| {
+            sol.stats.metrics.iter().find(|(n, _)| *n == k).map(|(_, v)| *v).unwrap()
+        };
+        assert_eq!(metric("quant_exact"), 1.0);
+        assert_eq!(metric("quant_eps"), 0.0);
+        let plan = reg.plan(&g, &opts);
+        assert_eq!(plan.chosen, Some("quant"), "\n{}", plan.render());
+    }
+
+    #[test]
+    fn quant_overflow_and_tolerance_misses_are_typed() {
+        let reg = Registry::with_all();
+        // one 3e9 edge: even i32 at scale 1 cannot hold hops x max_weight
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 3.0e9).add_edge(1, 2, 1.0);
+        let opts = SolveOpts { error_tolerance: Some(1.0), ..Default::default() };
+        match reg.solve("quant", &b.build(), &opts) {
+            Err(SolveError::Ineligible {
+                solver: "quant",
+                reason: Ineligible::Quant(quant::QuantError::Overflow { .. }),
+            }) => {}
+            other => panic!("expected Overflow, got {:?}", other.map(|s| s.solver)),
+        }
+        // fractional weights + an impossible tolerance: typed Tolerance miss
+        let g = generators::uniform_dense(16, WeightKind::Real { lo: 0.0, hi: 1.0 }, 3);
+        let tight = SolveOpts { error_tolerance: Some(0.0), ..Default::default() };
+        match reg.solve("quant", &g, &tight) {
+            Err(SolveError::Ineligible {
+                solver: "quant",
+                reason: Ineligible::Quant(quant::QuantError::Tolerance { .. }),
+            }) => {}
+            other => panic!("expected Tolerance, got {:?}", other.map(|s| s.solver)),
+        }
+        // …but a realistic tolerance admits a bounded-error solve
+        let loose = SolveOpts { error_tolerance: Some(1e-3), ..Default::default() };
+        let sol = reg.solve("quant", &g, &loose).unwrap();
+        let want = reference(&g);
+        let eps = sol
+            .stats
+            .metrics
+            .iter()
+            .find(|(n, _)| *n == "quant_eps")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(eps > 0.0 && eps <= 1e-3);
+        for i in 0..g.n() {
+            for j in 0..g.n() {
+                let (a, b) = (sol.dist[(i, j)], want[(i, j)]);
+                assert!((a - b).abs() as f64 <= eps + 1e-6, "({i},{j}): |{a} - {b}|");
+            }
+        }
     }
 
     #[test]

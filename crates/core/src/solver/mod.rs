@@ -46,6 +46,11 @@ pub struct SolveOpts {
     /// Simulated-runtime knobs (faults, recv timeout) for the distributed
     /// solver.
     pub dist_run: DistRunOpts,
+    /// Opt-in to low-precision solves (`--error-tolerance`): the largest
+    /// acceptable `±eps` on any finite distance. `None` (the default)
+    /// keeps the quantized solver ineligible — approximation is never
+    /// silently substituted for the exact `f32` path.
+    pub error_tolerance: Option<f64>,
 }
 
 impl Default for SolveOpts {
@@ -57,6 +62,7 @@ impl Default for SolveOpts {
             grid: (2, 2),
             dist: FwConfig::new(64, Variant::Pipelined),
             dist_run: DistRunOpts::default(),
+            error_tolerance: None,
         }
     }
 }
@@ -104,6 +110,15 @@ pub enum Ineligible {
         /// The configured ceiling.
         budget: u64,
     },
+    /// The quantized solver cannot meet its precision contract on this
+    /// graph (overflow, tolerance, sign — see [`crate::quant::QuantError`]).
+    Quant(crate::quant::QuantError),
+    /// A low-precision solver needs an explicit `--error-tolerance` opt-in;
+    /// carries the `±eps` bound it could achieve on this graph.
+    NeedsTolerance {
+        /// Best achievable error bound (`0.0` when provably exact).
+        eps: f64,
+    },
 }
 
 impl std::fmt::Display for Ineligible {
@@ -122,6 +137,11 @@ impl std::fmt::Display for Ineligible {
                 "working set {} exceeds budget {}",
                 profile::human_bytes(*required),
                 profile::human_bytes(*budget)
+            ),
+            Ineligible::Quant(e) => write!(f, "{e}"),
+            Ineligible::NeedsTolerance { eps } => write!(
+                f,
+                "low-precision solve needs --error-tolerance (achievable +-{eps:.3e})"
             ),
         }
     }

@@ -21,6 +21,17 @@ use super::{Estimate, GraphProfile, Ineligible, Registry, SolveOpts};
 /// Seconds per semiring FLOP of the packed register-tiled dense kernel
 /// (per worker thread).
 pub const T_FLOP_PACKED: f64 = 2.2e-11;
+/// Seconds per semiring FLOP of the packed kernel on saturating `u16`
+/// lanes: 32 lanes per AVX-512 register vs 16 for `f32` roughly halves the
+/// per-flop cost (the perf suite's `gemm/packed/minplus_u16` entry keeps
+/// this honest).
+pub const T_QUANT_U16: f64 = 1.2e-11;
+/// Seconds per semiring FLOP of the packed kernel on saturating `i32`
+/// lanes: same lane count as `f32`, slightly behind it — the saturating
+/// fma is three integer ops per vector (`vpaddd` + compare + masked
+/// `vpminsd`) against `f32`'s two (measured ~0.87× in
+/// `gemm/packed/minplus_i32`).
+pub const T_QUANT_I32: f64 = 2.5e-11;
 /// Seconds per FLOP of the unpacked block-sparse GEMM path (also used to
 /// price Seidel's repeated-squaring products).
 pub const T_FLOP_BLOCKED: f64 = 8.0e-11;
@@ -200,6 +211,7 @@ mod tests {
             mean_weight: 1.0,
             negative_edges: 0,
             unit_weights: true,
+            integral_weights: true,
             symmetric: true,
             weak_components: 1,
             block_size: 64,

@@ -29,6 +29,9 @@ pub struct GraphProfile {
     pub negative_edges: usize,
     /// Every weight equals `1.0` — a hop-count instance (Seidel territory).
     pub unit_weights: bool,
+    /// Every weight is a whole number — quantization (`--algo quant`) can
+    /// be bit-exact instead of merely `eps`-bounded.
+    pub integral_weights: bool,
     /// For every edge `(u,v,w)` the edge `(v,u,w)` also exists — the graph
     /// is undirected in structure *and* weight.
     pub symmetric: bool,
@@ -58,6 +61,7 @@ impl GraphProfile {
         let mut sum = 0.0f64;
         let mut negative_edges = 0usize;
         let mut unit_weights = true;
+        let mut integral_weights = true;
         let mut symmetric = true;
         // diagonal blocks always materialize (zero-seeded diagonal)
         let mut blocks: HashSet<(u32, u32)> = (0..nb as u32).map(|k| (k, k)).collect();
@@ -71,6 +75,9 @@ impl GraphProfile {
             }
             if w != 1.0 {
                 unit_weights = false;
+            }
+            if w.fract() != 0.0 {
+                integral_weights = false;
             }
             if symmetric && g.weight(v, u) != w {
                 symmetric = false;
@@ -94,6 +101,7 @@ impl GraphProfile {
             mean_weight: if m > 0 { sum / m as f64 } else { 0.0 },
             negative_edges,
             unit_weights,
+            integral_weights,
             symmetric,
             weak_components,
             block_size: block,
@@ -189,6 +197,7 @@ mod tests {
         assert!((p.density - 1.0).abs() < 1e-9);
         assert!(!p.has_negative());
         assert!(!p.unit_weights);
+        assert!(p.integral_weights); // small_ints are whole numbers
         assert!(!p.symmetric); // independent random weights per direction
         assert_eq!(p.weak_components, 1);
         assert_eq!(p.nnz_blocks, 16); // every block occupied
@@ -215,6 +224,7 @@ mod tests {
         assert_eq!(p.negative_edges, 1);
         assert!(p.has_negative());
         assert!(!p.unit_weights);
+        assert!(!p.integral_weights); // -2.5 has a fractional part
         assert_eq!(p.min_weight, -2.5);
 
         let g = generators::unit_ring(6);

@@ -172,6 +172,37 @@ fn truncated_store_file_is_a_typed_error_not_a_panic() {
 }
 
 #[test]
+fn store_written_as_one_dtype_refuses_to_open_as_another() {
+    // i32 and f32 share the 4-byte width AND the 32-element pad stride, so
+    // slot capacities are identical — only the header's dtype code can stop
+    // a silent bit-reinterpretation of every stored distance.
+    let (n, t) = (32usize, 16usize);
+    let path = TempPath::new("dtype");
+    drop(FileStore::create::<i32>(&path.0, n, t, 2).unwrap());
+    match FileStore::open::<f32>(&path.0, 2) {
+        Err(StoreError::BadHeader { detail }) => {
+            assert!(
+                detail.contains("i32") && detail.contains("f32"),
+                "unhelpful detail: {detail}"
+            );
+        }
+        other => panic!("expected BadHeader, got {:?}", other.map(|_| ())),
+    }
+    // same-dtype reopen still works
+    assert!(FileStore::open::<i32>(&path.0, 2).is_ok());
+    // a u16 store differs in width, slot capacity, and pad stride — all
+    // derived from the element width, and all caught up front
+    let path2 = TempPath::new("dtype16");
+    drop(FileStore::create::<u16>(&path2.0, n, t, 2).unwrap());
+    match FileStore::open::<f32>(&path2.0, 2) {
+        Err(StoreError::BadHeader { detail }) => {
+            assert!(detail.contains("width 2"), "unhelpful detail: {detail}");
+        }
+        other => panic!("expected BadHeader, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
 fn corrupt_tile_blob_is_a_typed_decode_error() {
     use std::io::{Seek, SeekFrom, Write};
     let (n, t) = (32usize, 8usize);

@@ -104,6 +104,40 @@ fn auto_is_correct_on_every_family() {
     }
 }
 
+/// The quantized solver against the f32 oracle on every generator family:
+/// bit-exact on integral weights, within its *own reported* `±eps` (not
+/// just the requested tolerance) on real weights.
+#[test]
+fn quant_stays_within_its_documented_eps_on_every_family() {
+    let reg = Registry::with_all();
+    let opts = SolveOpts { block: 8, error_tolerance: Some(1e-3), ..Default::default() };
+    for (family, g, integer_weights) in families() {
+        let want = reg.solve("fw", &g, &opts).expect("fw is always eligible").dist;
+        let sol = reg.solve("quant", &g, &opts).unwrap_or_else(|e| panic!("{family}: {e}"));
+        let metric = |k: &str| {
+            sol.stats
+                .metrics
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{family}: metric {k} missing"))
+        };
+        let eps = metric("quant_eps");
+        assert!(eps <= 1e-3, "{family}: plan eps {eps} exceeds the requested tolerance");
+        if integer_weights {
+            assert_eq!(metric("quant_exact"), 1.0, "{family}: integral weights must be exact");
+            assert!(
+                sol.dist.eq_exact(&want),
+                "{family}: exact quantized solve diverged (max diff {})",
+                max_abs_diff(&sol.dist, &want)
+            );
+        } else {
+            let diff = max_abs_diff(&sol.dist, &want);
+            assert!(diff as f64 <= eps + 1e-6, "{family}: max diff {diff} > documented eps {eps}");
+        }
+    }
+}
+
 #[test]
 fn unit_family_includes_seidel_and_it_is_exact() {
     let reg = Registry::with_all();

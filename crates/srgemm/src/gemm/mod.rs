@@ -22,7 +22,10 @@ mod parallel;
 
 pub use blocked::{gemm_blocked, gemm_blocked_tiled, KC, MC, NC};
 pub use naive::gemm_naive;
-pub use pack::{gemm_packed, gemm_packed_with_b, Isa, PackDecodeError, PackElem, PackedA, PackedB};
+pub use pack::{
+    dtype_name, gemm_packed, gemm_packed_with_b, pad_quantum, pad_quantum_for, Isa,
+    PackDecodeError, PackElem, PackedA, PackedB,
+};
 pub use parallel::{
     budget_threads, gemm_parallel, gemm_parallel_threads, gemm_parallel_threads_with_b,
 };

@@ -13,7 +13,8 @@
 //!   are padded to `MR` rows with `S::zero()`.
 //! * **`B` panels** ([`PackedB`]): the whole operand is stored as a grid of
 //!   `KC × NC` tiles, each tile **row-major contiguous** with its rows
-//!   padded to the `NR_PAD` stride, so the inner `⊕/⊗` loop streams `B`
+//!   padded to the element-width-derived [`pad_quantum`] stride (128 bytes
+//!   worth of elements), so the inner `⊕/⊗` loop streams `B`
 //!   with stride 1 regardless of the parent view's stride. A `PackedB` is
 //!   immutable after packing and [`Sync`], which is what lets one packed
 //!   copy be shared across all row slabs of a parallel GEMM and across all
@@ -55,14 +56,37 @@ use crate::semiring::Semiring;
 /// Cache-line alignment target for packed buffers, in bytes.
 const ALIGN: usize = 64;
 
-/// Row stride quantum for packed `B` tiles: every tile row is padded to a
-/// multiple of the **largest** `NR` across [`Isa`] variants with `S::zero()`.
-/// Since `⊕`-identity is the `⊗`-annihilator in a semiring, an FMA against a
-/// padded column leaves the accumulator untouched, so the micro-kernel can
-/// always read a full `NR` lane from `B` — ragged column tails run the same
-/// register-tiled loop as interior tiles instead of a scalar fallback — and
-/// the padded layout still serves every ISA variant (each `NR` divides 32).
-const NR_PAD: usize = 32;
+/// Byte quantum for packed-`B` tile-row padding: every tile row spans a
+/// multiple of this many **bytes**, which is the widest `NR` lane (in bytes)
+/// any [`Isa`] variant reads — two ZMM registers. The element-count pad
+/// stride follows from the element width via [`pad_quantum`], so a u16
+/// semiring pads to 64 elements while f32/i32 pad to 32 and f64 to 16; in
+/// every case each variant's `NR` divides the pad, so one packed layout
+/// serves every ISA. Since `⊕`-identity is the `⊗`-annihilator in a
+/// semiring, an FMA against a padded column leaves the accumulator
+/// untouched — ragged column tails run the same register-tiled loop as
+/// interior tiles instead of a scalar fallback.
+const PAD_BYTES: usize = 128;
+
+/// Pad-stride quantum in **elements** for an element of `size` bytes:
+/// [`PAD_BYTES`] worth of power-of-two-sized elements, or the legacy
+/// 32-element quantum for exotic element sizes (which only the baseline
+/// shapes, whose `NR` divides 32, ever run at full width).
+#[inline]
+pub const fn pad_quantum_for(size: usize) -> usize {
+    match size {
+        1 | 2 | 4 | 8 => PAD_BYTES / size,
+        _ => 32,
+    }
+}
+
+/// Pad-stride quantum in elements for element type `E` — the row stride
+/// multiple every [`PackedB`] tile uses. Derived from the element width, not
+/// a global constant: serialized blob sizes therefore differ per dtype.
+#[inline]
+pub const fn pad_quantum<E>() -> usize {
+    pad_quantum_for(std::mem::size_of::<E>())
+}
 
 /// Vector ISA selected for the micro-kernel, fixing its micro-tile shape.
 ///
@@ -88,10 +112,20 @@ pub enum Isa {
 impl Isa {
     /// Detect the widest supported variant (cheap cached lookup; called once
     /// per GEMM invocation, not per tile).
+    ///
+    /// The AVX-512 variant requires `avx512bw` (without it there are no
+    /// 512-bit 16-bit-element min/saturating-add instructions, so the u16
+    /// semiring would fall apart into spilling 128-bit code) and `avx512vl`
+    /// (so narrower ops can still use all 32 registers). Every server part
+    /// since Skylake-SP has all three; a hypothetical F-only CPU falls back
+    /// to AVX2 rather than compiling a width it can't execute well.
     pub fn detect() -> Isa {
         #[cfg(target_arch = "x86_64")]
         {
-            if is_x86_feature_detected!("avx512f") {
+            if is_x86_feature_detected!("avx512f")
+                && is_x86_feature_detected!("avx512bw")
+                && is_x86_feature_detected!("avx512vl")
+            {
                 return Isa::Avx512;
             }
             if is_x86_feature_detected!("avx2") {
@@ -101,14 +135,25 @@ impl Isa {
         Isa::Baseline
     }
 
-    /// `(MR, NR)` micro-tile shape used by this variant's kernel.
-    pub fn micro_shape(self) -> (usize, usize) {
-        match self {
+    /// `(MR, NR)` micro-tile shape used by this variant's kernel for an
+    /// element of `elem_size` bytes. `NR` is a fixed **byte** width per
+    /// variant (two ZMM / two YMM / two XMM registers per accumulator row),
+    /// so narrower elements get proportionally more lanes: u16 runs a 64-wide
+    /// `NR` on AVX-512 where f32 runs 32 and f64 runs 16. Every shape's `NR`
+    /// divides the [`pad_quantum_for`] stride of the same element size.
+    pub fn micro_shape(self, elem_size: usize) -> (usize, usize) {
+        let (mr, nr_bytes) = match self {
             #[cfg(target_arch = "x86_64")]
-            Isa::Avx512 => (8, 32),
+            Isa::Avx512 => (8, 128),
             #[cfg(target_arch = "x86_64")]
-            Isa::Avx2 => (4, 16),
-            Isa::Baseline => (2, 16),
+            Isa::Avx2 => (4, 64),
+            Isa::Baseline => (2, 64),
+        };
+        match elem_size {
+            1 | 2 | 4 | 8 => (mr, nr_bytes / elem_size),
+            // exotic element sizes fall back to the pre-quantization shapes,
+            // which divide the legacy 32-element pad quantum
+            _ => (mr, if nr_bytes == 128 { 32 } else { 16 }),
         }
     }
 }
@@ -217,7 +262,7 @@ impl<E: Copy> PackedB<E> {
         self.cols = n;
         self.kt_count = k.div_ceil(self.kc);
         self.jt_count = n.div_ceil(self.nc);
-        // Total capacity with every tile row padded to the NR_PAD stride.
+        // Total capacity with every tile row padded to the pad-quantum stride.
         let padded_cols: usize =
             (0..self.jt_count).map(|jt| self.padded_tile_width(jt)).sum();
         self.buf.ensure(k * padded_cols, S::zero());
@@ -233,7 +278,7 @@ impl<E: Copy> PackedB<E> {
             for jt in 0..self.jt_count {
                 let j0 = jt * nc;
                 let jb = nc.min(n - j0);
-                let stride = jb.next_multiple_of(NR_PAD);
+                let stride = jb.next_multiple_of(pad_quantum::<E>());
                 self.tile_off.push(off);
                 for l in 0..kb {
                     let row = &mut dst[off + l * stride..off + l * stride + stride];
@@ -288,11 +333,12 @@ impl<E: Copy> PackedB<E> {
     }
 
     /// Row stride of tile column `jt`: its logical width `jb` rounded up to
-    /// the `NR_PAD` quantum; the pad region is `S::zero()`-filled.
+    /// the element-width-derived [`pad_quantum`]; the pad region is
+    /// `S::zero()`-filled.
     #[inline]
     pub fn padded_tile_width(&self, jt: usize) -> usize {
         let (_, jb) = self.col_range(jt);
-        jb.next_multiple_of(NR_PAD)
+        jb.next_multiple_of(pad_quantum::<E>())
     }
 
     /// The row-major contiguous `kb × padded_tile_width(jt)` tile `(kt, jt)`;
@@ -308,35 +354,57 @@ impl<E: Copy> PackedB<E> {
 
 /// An element type that can live in a serialized [`PackedB`] payload:
 /// fixed-width little-endian encoding, independent of host endianness.
-/// Implemented for the floating-point element types the semirings use.
+/// Implemented for the floating-point and quantized integer element types
+/// the semirings use.
 pub trait PackElem: Copy + Default {
     /// Encoded size in bytes.
     const BYTES: usize;
+    /// Dtype discriminant carried in blob and tile-store headers so that
+    /// same-width dtypes (i32 vs f32 are both 4 B, same pad stride) can
+    /// never be silently reinterpreted as each other.
+    const CODE: u8;
+    /// Human-readable dtype name (`"f32"`, `"u16"`, …) for error messages.
+    const DTYPE: &'static str;
     /// Append the little-endian encoding of `self` to `out`.
     fn write_le(self, out: &mut Vec<u8>);
     /// Decode from exactly [`PackElem::BYTES`] bytes.
     fn read_le(b: &[u8]) -> Self;
 }
 
-impl PackElem for f32 {
-    const BYTES: usize = 4;
-    fn write_le(self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
-    }
-    fn read_le(b: &[u8]) -> Self {
-        f32::from_le_bytes([b[0], b[1], b[2], b[3]])
+/// Map a [`PackElem::CODE`] back to its dtype name (for error messages about
+/// blobs written by a *different* dtype than the decoder's).
+pub fn dtype_name(code: u8) -> &'static str {
+    match code {
+        1 => f32::DTYPE,
+        2 => f64::DTYPE,
+        3 => u16::DTYPE,
+        4 => i32::DTYPE,
+        _ => "unknown",
     }
 }
 
-impl PackElem for f64 {
-    const BYTES: usize = 8;
-    fn write_le(self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
-    }
-    fn read_le(b: &[u8]) -> Self {
-        f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
-    }
+macro_rules! impl_pack_elem {
+    ($t:ty, $code:expr, $name:literal, $n:expr) => {
+        impl PackElem for $t {
+            const BYTES: usize = $n;
+            const CODE: u8 = $code;
+            const DTYPE: &'static str = $name;
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(b: &[u8]) -> Self {
+                let mut raw = [0u8; $n];
+                raw.copy_from_slice(&b[..$n]);
+                <$t>::from_le_bytes(raw)
+            }
+        }
+    };
 }
+
+impl_pack_elem!(f32, 1, "f32", 4);
+impl_pack_elem!(f64, 2, "f64", 8);
+impl_pack_elem!(u16, 3, "u16", 2);
+impl_pack_elem!(i32, 4, "i32", 4);
 
 /// Why a serialized [`PackedB`] blob failed to decode — typed, so tile
 /// stores can surface corruption as an error instead of a panic.
@@ -352,6 +420,15 @@ pub enum PackDecodeError {
         expected: usize,
         /// Width the header claims.
         got: usize,
+    },
+    /// The blob was encoded with a different element dtype of the *same*
+    /// width (e.g. an i32 blob decoded as f32) — reinterpreting the payload
+    /// would silently produce garbage distances, so it is refused.
+    WrongElemType {
+        /// Dtype name this decoder expects.
+        expected: &'static str,
+        /// Dtype name the header claims (see [`dtype_name`]).
+        got: &'static str,
     },
     /// The blob ends before the payload the header promises.
     Truncated {
@@ -374,6 +451,9 @@ impl std::fmt::Display for PackDecodeError {
             PackDecodeError::WrongElemSize { expected, got } => {
                 write!(f, "packed-tile element width {got} B, expected {expected} B")
             }
+            PackDecodeError::WrongElemType { expected, got } => {
+                write!(f, "packed-tile element dtype {got}, expected {expected}")
+            }
             PackDecodeError::Truncated { needed, got } => {
                 write!(f, "packed-tile blob truncated: need {needed} B, have {got} B")
             }
@@ -388,22 +468,37 @@ impl std::error::Error for PackDecodeError {}
 const BLOB_MAGIC: [u8; 4] = *b"APTB";
 /// Serialized-blob format version.
 const BLOB_VERSION: u32 = 1;
-/// Fixed header: magic + version + elem width + rows/cols/kc/nc/payload_len.
+/// Fixed header: magic + version + elem field + rows/cols/kc/nc/payload_len.
+/// The elem field packs the byte width in its low 16 bits and the
+/// [`PackElem::CODE`] dtype discriminant in the high 16.
 const BLOB_HEADER: usize = 4 + 4 + 4 + 5 * 8;
 
-/// Padded payload length (in elements) of a `rows × cols` operand packed
-/// with `kc × nc` tiles: every tile row is padded to the [`NR_PAD`] stride,
-/// so the total is `rows · Σ_jt pad(jb)`. `None` on overflow or zero tile
-/// sizes.
-fn packed_payload_len(rows: usize, cols: usize, kc: usize, nc: usize) -> Option<usize> {
+/// Encode a dtype's `(width, code)` pair into the header's elem field.
+fn elem_field<E: PackElem>() -> u32 {
+    (E::BYTES as u32) | ((E::CODE as u32) << 16)
+}
+
+/// Padded payload length (in elements) of a `rows × cols` operand of
+/// `elem_size`-byte elements packed with `kc × nc` tiles: every tile row is
+/// padded to the [`pad_quantum_for`] stride of that width, so the total is
+/// `rows · Σ_jt pad(jb)` — and therefore differs per dtype. `None` on
+/// overflow or zero tile sizes.
+fn packed_payload_len(
+    rows: usize,
+    cols: usize,
+    kc: usize,
+    nc: usize,
+    elem_size: usize,
+) -> Option<usize> {
     if kc == 0 || nc == 0 {
         return None;
     }
+    let pad = pad_quantum_for(elem_size);
     let jt_count = cols.div_ceil(nc);
     let mut padded_cols = 0usize;
     for jt in 0..jt_count {
         let jb = nc.min(cols - jt * nc);
-        padded_cols = padded_cols.checked_add(jb.next_multiple_of(NR_PAD))?;
+        padded_cols = padded_cols.checked_add(jb.next_multiple_of(pad))?;
     }
     rows.checked_mul(padded_cols)
 }
@@ -415,8 +510,8 @@ impl<E: PackElem> PackedB<E> {
     /// # Panics
     /// Panics if `kc`/`nc` are zero or the shape overflows `usize`.
     pub fn serialized_len(rows: usize, cols: usize, kc: usize, nc: usize) -> usize {
-        let payload =
-            packed_payload_len(rows, cols, kc, nc).expect("packed shape must be representable");
+        let payload = packed_payload_len(rows, cols, kc, nc, E::BYTES)
+            .expect("packed shape must be representable");
         BLOB_HEADER + payload * E::BYTES
     }
 
@@ -429,7 +524,7 @@ impl<E: PackElem> PackedB<E> {
         let mut out = Vec::with_capacity(BLOB_HEADER + payload.len() * E::BYTES);
         out.extend_from_slice(&BLOB_MAGIC);
         out.extend_from_slice(&BLOB_VERSION.to_le_bytes());
-        out.extend_from_slice(&(E::BYTES as u32).to_le_bytes());
+        out.extend_from_slice(&elem_field::<E>().to_le_bytes());
         for dim in [self.rows, self.cols, self.kc, self.nc, payload.len()] {
             out.extend_from_slice(&(dim as u64).to_le_bytes());
         }
@@ -460,9 +555,17 @@ impl<E: PackElem> PackedB<E> {
         if version != BLOB_VERSION {
             return Err(PackDecodeError::BadVersion(version));
         }
-        let elem = u32_at(8) as usize;
-        if elem != E::BYTES {
-            return Err(PackDecodeError::WrongElemSize { expected: E::BYTES, got: elem });
+        let elem = u32_at(8);
+        let width = (elem & 0xFFFF) as usize;
+        let code = (elem >> 16) as u8;
+        if width != E::BYTES {
+            return Err(PackDecodeError::WrongElemSize { expected: E::BYTES, got: width });
+        }
+        if code != E::CODE {
+            return Err(PackDecodeError::WrongElemType {
+                expected: E::DTYPE,
+                got: dtype_name(code),
+            });
         }
         let as_usize = |v: u64| usize::try_from(v).map_err(|_| PackDecodeError::Inconsistent);
         let rows = as_usize(u64_at(12))?;
@@ -472,7 +575,7 @@ impl<E: PackElem> PackedB<E> {
         let payload_len = as_usize(u64_at(44))?;
         // The payload length must match the declared shape exactly — a
         // mismatch means the header lies about something.
-        if packed_payload_len(rows, cols, kc, nc) != Some(payload_len) {
+        if packed_payload_len(rows, cols, kc, nc, E::BYTES) != Some(payload_len) {
             return Err(PackDecodeError::Inconsistent);
         }
         let needed = BLOB_HEADER
@@ -638,7 +741,7 @@ pub fn gemm_packed_with_b<S: Semiring>(
         return;
     }
     let isa = Isa::detect();
-    let (mr, _) = isa.micro_shape();
+    let (mr, _) = isa.micro_shape(std::mem::size_of::<S::Elem>());
     let mut pa = PackedA::new();
     // BLIS loop order jc → pc → ic: the packed B tile (kt, jt) is streamed
     // by every MC row slab before moving on; A slabs are repacked per tile
@@ -686,7 +789,8 @@ fn slab_times_tile<S: Semiring>(
     match isa {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `Isa::detect` only returns this variant after verifying
-        // the CPU feature at runtime (tests construct it the same way).
+        // avx512f+avx512bw+avx512vl at runtime (tests construct it the
+        // same way).
         Isa::Avx512 => unsafe {
             slab_times_tile_avx512::<S>(c, pa, b_tile, i0, ib, j0, jb, stride, kb)
         },
@@ -695,16 +799,24 @@ fn slab_times_tile<S: Semiring>(
         Isa::Avx2 => unsafe {
             slab_times_tile_avx2::<S>(c, pa, b_tile, i0, ib, j0, jb, stride, kb)
         },
-        Isa::Baseline => {
-            slab_times_tile_generic::<S, 2, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb)
-        }
+        Isa::Baseline => match std::mem::size_of::<S::Elem>() {
+            1 => slab_times_tile_generic::<S, 2, 64>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+            2 => slab_times_tile_generic::<S, 2, 32>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+            4 => slab_times_tile_generic::<S, 2, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+            8 => slab_times_tile_generic::<S, 2, 8>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+            _ => slab_times_tile_generic::<S, 2, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        },
     }
 }
 
-/// AVX-512 instantiation: one 32-lane f32 accumulator row is two ZMM
-/// registers; the 8×32 tile uses 16 of the 32 available.
+/// AVX-512 instantiations, one per element width ([`Isa::micro_shape`]): an
+/// accumulator row is always two ZMM registers (128 B), so the 8-row tile
+/// uses 16 of the 32 available — 32 f32/i32 lanes, 64 u16 lanes, 16 f64
+/// lanes per row. `avx512bw` is what gives the 16-bit-element zmm ops the
+/// u16 semiring compiles to (`vpminuw`/`vpaddusw`); `avx512vl` lets the
+/// compiler keep using registers 16–31 for any narrower helper ops.
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vl")]
 #[allow(clippy::too_many_arguments)]
 fn slab_times_tile_avx512<S: Semiring>(
     c: &mut ViewMut<'_, S::Elem>,
@@ -717,10 +829,17 @@ fn slab_times_tile_avx512<S: Semiring>(
     stride: usize,
     kb: usize,
 ) {
-    slab_times_tile_generic::<S, 8, 32>(c, pa, b_tile, i0, ib, j0, jb, stride, kb)
+    match std::mem::size_of::<S::Elem>() {
+        1 => slab_times_tile_generic::<S, 8, 128>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        2 => slab_times_tile_generic::<S, 8, 64>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        4 => slab_times_tile_generic::<S, 8, 32>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        8 => slab_times_tile_generic::<S, 8, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        _ => slab_times_tile_generic::<S, 8, 32>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+    }
 }
 
-/// AVX2 instantiation: the 4×16 tile is 8 of the 16 YMM registers.
+/// AVX2 instantiations: an accumulator row is two YMM registers (64 B), the
+/// 4-row tile 8 of the 16 — 16 f32/i32 lanes, 32 u16 lanes per row.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -735,7 +854,13 @@ fn slab_times_tile_avx2<S: Semiring>(
     stride: usize,
     kb: usize,
 ) {
-    slab_times_tile_generic::<S, 4, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb)
+    match std::mem::size_of::<S::Elem>() {
+        1 => slab_times_tile_generic::<S, 4, 64>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        2 => slab_times_tile_generic::<S, 4, 32>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        4 => slab_times_tile_generic::<S, 4, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        8 => slab_times_tile_generic::<S, 4, 8>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+        _ => slab_times_tile_generic::<S, 4, 16>(c, pa, b_tile, i0, ib, j0, jb, stride, kb),
+    }
 }
 
 /// Width-agnostic slab×tile walk; `#[inline(always)]` (here and on the
@@ -795,7 +920,7 @@ fn slab_times_tile_generic<S: Semiring, const MR: usize, const NR: usize>(
 /// `b_tile` has `kb * stride` elements and every index is
 /// `l * stride + jj + j` with `l < kb` and `jj + NR ≤ stride` (`jj` steps by
 /// `NR` below `jb ≤ stride`, and `stride` is a multiple of `NR` by the
-/// `NR_PAD` padding, asserted in `slab_times_tile_generic`). The `C` rows
+/// [`pad_quantum`] padding, asserted in `slab_times_tile_generic`). The `C` rows
 /// are sliced *checked* to `NR` outside the loop. All invariants are
 /// re-verified by `debug_assert!`s in debug builds; see DESIGN.md §11.
 #[inline(always)]
@@ -844,7 +969,7 @@ fn micro_tile_full<S: Semiring, const MR: usize, const NR: usize>(
 /// Edge micro-kernel for ragged `MR`/`NR` tails — same full-width
 /// register-tiled loop as [`micro_tile_full`], not a scalar fallback. It can
 /// read the full `NR` lane even past `jb` because packed `B` rows are padded
-/// to the `NR_PAD` stride with `S::zero()`, and padded `A` lanes are
+/// to the [`pad_quantum`] stride with `S::zero()`, and padded `A` lanes are
 /// `S::zero()` too; the `⊕`-identity annihilates under `⊗`, so dead lanes
 /// fold to no-ops. Only `live` rows × `nr` columns of the accumulator are
 /// loaded from / stored to `C`; the dead lanes start at `S::zero()` and are
@@ -903,13 +1028,21 @@ mod tests {
     use super::*;
     use crate::gemm::gemm_naive;
     use crate::matrix::Matrix;
-    use crate::semiring::{BoolOr, MinPlus, RealArith};
+    use crate::semiring::{BoolOr, MinPlus, MinPlusSatI32, MinPlusSatU16, RealArith};
 
     fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f32 / 8.0
+        })
+    }
+
+    fn lcg_matrix_int(rows: usize, cols: usize, seed: u64, modulo: u64) -> Matrix<u64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % modulo
         })
     }
 
@@ -963,12 +1096,15 @@ mod tests {
             if is_x86_feature_detected!("avx2") {
                 variants.push(Isa::Avx2);
             }
-            if is_x86_feature_detected!("avx512f") {
+            if is_x86_feature_detected!("avx512f")
+                && is_x86_feature_detected!("avx512bw")
+                && is_x86_feature_detected!("avx512vl")
+            {
                 variants.push(Isa::Avx512);
             }
         }
         for isa in variants {
-            let (mr, _) = isa.micro_shape();
+            let (mr, _) = isa.micro_shape(std::mem::size_of::<f32>());
             let mut c = c0.clone();
             let mut pa = PackedA::new();
             {
@@ -994,6 +1130,139 @@ mod tests {
             }
             assert!(oracle.eq_exact(&c), "mismatch for {isa:?}");
         }
+    }
+
+    #[test]
+    fn packed_matches_naive_for_quantized_semirings() {
+        // straddle the *widened* NR boundaries (u16 runs NR=64 on AVX-512)
+        // and mix in the sentinel so saturation paths execute inside the
+        // register-tiled loop
+        for &m in &[1, 5, 8, 13] {
+            for &n in &[1, 31, 33, 63, 64, 65, 129] {
+                for &k in &[0, 1, 17] {
+                    let au = Matrix::from_fn(m, k, |i, j| {
+                        if (i + j) % 7 == 0 { u16::MAX } else { ((i * 31 + j * 7) % 999) as u16 }
+                    });
+                    let bu = Matrix::from_fn(k, n, |i, j| {
+                        if (i * j) % 5 == 4 { u16::MAX } else { ((i * 13 + j * 3) % 999) as u16 }
+                    });
+                    let mut c1 = Matrix::filled(m, n, u16::MAX);
+                    let mut c2 = c1.clone();
+                    gemm_naive::<MinPlusSatU16>(&mut c1.view_mut(), &au.view(), &bu.view());
+                    gemm_packed::<MinPlusSatU16>(&mut c2.view_mut(), &au.view(), &bu.view());
+                    assert!(c1.eq_exact(&c2), "u16 mismatch at ({m},{n},{k})");
+
+                    let ai = Matrix::from_fn(m, k, |i, j| {
+                        if (i + j) % 7 == 0 { i32::MAX } else { ((i * 31 + j * 7) % 999) as i32 }
+                    });
+                    let bi = Matrix::from_fn(k, n, |i, j| {
+                        if (i * j) % 5 == 4 { i32::MAX } else { ((i * 13 + j * 3) % 999) as i32 }
+                    });
+                    let mut c1 = Matrix::filled(m, n, i32::MAX);
+                    let mut c2 = c1.clone();
+                    gemm_naive::<MinPlusSatI32>(&mut c1.view_mut(), &ai.view(), &bi.view());
+                    gemm_packed::<MinPlusSatI32>(&mut c2.view_mut(), &ai.view(), &bi.view());
+                    assert!(c1.eq_exact(&c2), "i32 mismatch at ({m},{n},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pad_stride_is_derived_from_element_width() {
+        assert_eq!(pad_quantum::<u16>(), 64);
+        assert_eq!(pad_quantum::<f32>(), 32);
+        assert_eq!(pad_quantum::<i32>(), 32);
+        assert_eq!(pad_quantum::<f64>(), 16);
+        // every ISA's NR divides the pad quantum of the same element size
+        let variants = [
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2,
+            Isa::Baseline,
+        ];
+        for isa in variants {
+            for esz in [1usize, 2, 4, 8, 3] {
+                let (_, nr) = isa.micro_shape(esz);
+                assert_eq!(
+                    pad_quantum_for(esz) % nr,
+                    0,
+                    "{isa:?} NR={nr} must divide pad {} for esz={esz}",
+                    pad_quantum_for(esz)
+                );
+            }
+        }
+        // the stride a real packed operand uses honors the quantum: 33 u16
+        // columns pad to 64, 33 f32 columns pad to 64 too but in *32s*
+        let bu = Matrix::filled(4usize, 33usize, 0u16);
+        let pu = PackedB::pack::<MinPlusSatU16>(&bu.view());
+        assert_eq!(pu.padded_tile_width(0), 64);
+        let bf = Matrix::filled(4usize, 33usize, 0.0f32);
+        let pf = PackedB::pack::<MinPlus<f32>>(&bf.view());
+        assert_eq!(pf.padded_tile_width(0), 64);
+        let bd = Matrix::filled(4usize, 33usize, 0.0f64);
+        let pd = PackedB::pack::<MinPlus<f64>>(&bd.view());
+        assert_eq!(pd.padded_tile_width(0), 48);
+    }
+
+    #[test]
+    fn serialized_round_trip_per_dtype() {
+        // same shapes as the f32 round-trip test, but over each dtype with
+        // its own (element-width-derived) pad stride
+        for &(rows, cols, kc, nc) in &[(20, 16, 8, 8), (33, 47, 16, 32), (7, 300, 64, 256)] {
+            let seed = rows as u64 * 31 + cols as u64;
+
+            let raw = lcg_matrix_int(rows, cols, seed, 60000);
+            let bu = Matrix::from_fn(rows, cols, |i, j| raw[(i, j)] as u16);
+            let pb = PackedB::pack_tiled::<MinPlusSatU16>(&bu.view(), kc, nc);
+            let blob = pb.to_bytes();
+            assert_eq!(blob.len(), PackedB::<u16>::serialized_len(rows, cols, kc, nc));
+            let back = PackedB::<u16>::from_bytes(&blob).unwrap();
+            let mut out = Matrix::filled(rows, cols, 0u16);
+            back.unpack_into(&mut out.view_mut());
+            assert!(out.eq_exact(&bu), "u16 ({rows},{cols},{kc},{nc})");
+
+            let raw = lcg_matrix_int(rows, cols, seed, 1 << 30);
+            let bi = Matrix::from_fn(rows, cols, |i, j| raw[(i, j)] as i32);
+            let pb = PackedB::pack_tiled::<MinPlusSatI32>(&bi.view(), kc, nc);
+            let blob = pb.to_bytes();
+            assert_eq!(blob.len(), PackedB::<i32>::serialized_len(rows, cols, kc, nc));
+            let back = PackedB::<i32>::from_bytes(&blob).unwrap();
+            let mut out = Matrix::filled(rows, cols, 0i32);
+            back.unpack_into(&mut out.view_mut());
+            assert!(out.eq_exact(&bi), "i32 ({rows},{cols},{kc},{nc})");
+
+            let raw = lcg_matrix_int(rows, cols, seed, 1000);
+            let bd = Matrix::from_fn(rows, cols, |i, j| raw[(i, j)] as f64 / 8.0);
+            let pb = PackedB::pack_tiled::<MinPlus<f64>>(&bd.view(), kc, nc);
+            let blob = pb.to_bytes();
+            assert_eq!(blob.len(), PackedB::<f64>::serialized_len(rows, cols, kc, nc));
+            let back = PackedB::<f64>::from_bytes(&blob).unwrap();
+            let mut out = Matrix::filled(rows, cols, 0.0f64);
+            back.unpack_into(&mut out.view_mut());
+            assert!(out.eq_exact(&bd), "f64 ({rows},{cols},{kc},{nc})");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_cross_dtype_blobs_of_equal_width() {
+        // i32 and f32 share the 4-byte width *and* the 32-element pad, so
+        // only the dtype code in the header can tell them apart
+        let b = Matrix::filled(8usize, 8usize, 7i32);
+        let blob = PackedB::pack_tiled::<MinPlusSatI32>(&b.view(), 8, 8).to_bytes();
+        assert_eq!(
+            PackedB::<f32>::from_bytes(&blob).unwrap_err(),
+            PackDecodeError::WrongElemType { expected: "f32", got: "i32" }
+        );
+        // and the error renders both names
+        let msg = PackedB::<f32>::from_bytes(&blob).unwrap_err().to_string();
+        assert!(msg.contains("i32") && msg.contains("f32"), "{msg}");
+        // width mismatch is still reported as a width mismatch
+        assert_eq!(
+            PackedB::<u16>::from_bytes(&blob).unwrap_err(),
+            PackDecodeError::WrongElemSize { expected: 2, got: 4 }
+        );
     }
 
     #[test]
@@ -1059,7 +1328,7 @@ mod tests {
 
     #[test]
     fn serialized_round_trip_is_indistinguishable_from_the_original() {
-        // ragged shapes straddling KC/NC and the NR_PAD quantum
+        // ragged shapes straddling KC/NC and the pad quantum
         for &(rows, cols, kc, nc) in
             &[(20, 16, 8, 8), (33, 47, 16, 32), (7, 300, 64, 256), (300, 13, 256, 512)]
         {

@@ -12,7 +12,9 @@
 //! ## Layout
 //!
 //! * [`semiring`] — the [`Semiring`] trait and instances ([`MinPlus`],
-//!   [`MaxMin`], [`BoolOr`], [`MaxPlus`], [`RealArith`]).
+//!   [`MaxMin`], [`BoolOr`], [`MaxPlus`], [`RealArith`], and the quantized
+//!   integer tropical semirings [`MinPlusSatU16`]/[`MinPlusSatI32`] that
+//!   run 2–4× more SIMD lanes per vector).
 //! * [`matrix`] — dense row-major [`Matrix`] plus borrowed strided
 //!   [`View`]/[`ViewMut`] blocks.
 //! * [`gemm`](mod@gemm) — `C ← C ⊕ A ⊗ B` kernels: naive, cache-blocked,
@@ -48,7 +50,9 @@ pub use gemm::{
     PackElem, PackedB,
 };
 pub use matrix::{Matrix, View, ViewMut};
-pub use semiring::{BoolOr, MaxMin, MaxPlus, MinPlus, RealArith, Semiring};
+pub use semiring::{
+    BoolOr, MaxMin, MaxPlus, MinPlus, MinPlusSatI32, MinPlusSatU16, RealArith, Semiring,
+};
 
 /// The paper's semiring: single-precision tropical (min, +).
 pub type MinPlusF32 = MinPlus<f32>;
@@ -61,6 +65,8 @@ pub mod prelude {
     pub use crate::gemm::{gemm, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel, PackedB};
     pub use crate::matrix::{Matrix, View, ViewMut};
     pub use crate::panel::{panel_update_left, panel_update_right};
-    pub use crate::semiring::{BoolOr, MaxMin, MaxPlus, MinPlus, RealArith, Semiring};
+    pub use crate::semiring::{
+        BoolOr, MaxMin, MaxPlus, MinPlus, MinPlusSatI32, MinPlusSatU16, RealArith, Semiring,
+    };
     pub use crate::{MinPlusF32, MinPlusF64};
 }

@@ -66,6 +66,124 @@ proptest! {
     }
 }
 
+/// Quantized tropical elements (u16): the full non-negative domain including
+/// values near the saturation boundary, with the `u16::MAX` sentinel mixed in
+/// at ~20% rate. Unlike the float strategy there is no "moderate magnitude"
+/// cap — saturation is the point.
+fn quant_u16_elem() -> impl Strategy<Value = u16> {
+    prop_oneof![
+        3 => 0u16..1001,
+        1 => (u16::MAX - 64)..u16::MAX,
+        1 => Just(u16::MAX),
+    ]
+}
+
+/// Quantized tropical elements (i32), **non-negative** — the semiring's
+/// domain. Negative values are excluded by the quantization layer's contract
+/// (they would break the annihilator law), so the laws are asserted exactly
+/// where the solver operates.
+fn quant_i32_elem() -> impl Strategy<Value = i32> {
+    prop_oneof![
+        3 => 0i32..1_000_001,
+        1 => (i32::MAX - 64)..i32::MAX,
+        1 => Just(i32::MAX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quant_u16_semiring_laws(a in quant_u16_elem(), b in quant_u16_elem(), c in quant_u16_elem()) {
+        type S = MinPlusSatU16;
+        // (S, ⊕, 0̄) commutative monoid; ⊕ idempotent
+        prop_assert_eq!(S::add(a, b), S::add(b, a));
+        prop_assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));
+        prop_assert_eq!(S::add(S::zero(), a), a);
+        prop_assert_eq!(S::add(a, a), a);
+        // (S, ⊗, 1̄) monoid — saturating add stays associative
+        prop_assert_eq!(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)));
+        prop_assert_eq!(S::mul(S::one(), a), a);
+        prop_assert_eq!(S::mul(a, S::one()), a);
+        // distributivity (both sides) and annihilation — exact, not approximate
+        prop_assert_eq!(S::mul(a, S::add(b, c)), S::add(S::mul(a, b), S::mul(a, c)));
+        prop_assert_eq!(S::mul(S::add(b, c), a), S::add(S::mul(b, a), S::mul(c, a)));
+        prop_assert_eq!(S::mul(S::zero(), a), S::zero());
+        prop_assert_eq!(S::mul(a, S::zero()), S::zero());
+    }
+
+    #[test]
+    fn quant_u16_saturating_add_never_wraps(a in quant_u16_elem(), b in quant_u16_elem()) {
+        type S = MinPlusSatU16;
+        // ⊗ is min(a + b, MAX) over ℕ: monotone in both operands, ≥ each
+        // finite operand, and never wraps past the sentinel
+        let sum = a as u32 + b as u32;
+        prop_assert_eq!(S::mul(a, b) as u32, sum.min(u16::MAX as u32));
+        prop_assert!(S::mul(a, b) >= a.min(b));
+    }
+
+    #[test]
+    fn quant_i32_semiring_laws(a in quant_i32_elem(), b in quant_i32_elem(), c in quant_i32_elem()) {
+        type S = MinPlusSatI32;
+        prop_assert_eq!(S::add(a, b), S::add(b, a));
+        prop_assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));
+        prop_assert_eq!(S::add(S::zero(), a), a);
+        prop_assert_eq!(S::add(a, a), a);
+        prop_assert_eq!(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)));
+        prop_assert_eq!(S::mul(S::one(), a), a);
+        prop_assert_eq!(S::mul(a, S::one()), a);
+        prop_assert_eq!(S::mul(a, S::add(b, c)), S::add(S::mul(a, b), S::mul(a, c)));
+        prop_assert_eq!(S::mul(S::add(b, c), a), S::add(S::mul(b, a), S::mul(c, a)));
+        prop_assert_eq!(S::mul(S::zero(), a), S::zero());
+        prop_assert_eq!(S::mul(a, S::zero()), S::zero());
+    }
+
+    #[test]
+    fn quant_i32_saturating_add_never_wraps(a in quant_i32_elem(), b in quant_i32_elem()) {
+        type S = MinPlusSatI32;
+        let sum = a as i64 + b as i64;
+        prop_assert_eq!(S::mul(a, b) as i64, sum.min(i32::MAX as i64));
+        prop_assert!(S::mul(a, b) >= a.min(b));
+    }
+
+    #[test]
+    fn quant_i32_fma_override_equals_the_composed_form(
+        a in quant_i32_elem(), b in quant_i32_elem(), c in quant_i32_elem(),
+    ) {
+        // the kernel-facing fma uses a widened unsigned add + unsigned min
+        // instead of saturating_add; on the non-negative domain the two
+        // must be indistinguishable, element for element
+        type S = MinPlusSatI32;
+        prop_assert_eq!(S::fma(c, a, b), S::add(c, S::mul(a, b)));
+    }
+
+    #[test]
+    fn quant_packed_kernel_matches_naive(
+        (m, n, k) in (1usize..20, 1usize..70, 1usize..20),
+        seed in any::<u64>(),
+    ) {
+        // the widened-lane packed kernel agrees with naive for the quantized
+        // semirings on shapes straddling the u16 NR=64 boundary, sentinel
+        // values included
+        use srgemm::gemm::{gemm_naive, gemm_packed};
+        let mk = |s: u64, rows: usize, cols: usize| {
+            let mut state = s | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (state >> 61) == 0 { u16::MAX } else { ((state >> 33) % 5000) as u16 }
+            })
+        };
+        let a = mk(seed, m, k);
+        let b = mk(seed.wrapping_add(1), k, n);
+        let c0 = mk(seed.wrapping_add(2), m, n);
+        let mut want = c0.clone();
+        gemm_naive::<MinPlusSatU16>(&mut want.view_mut(), &a.view(), &b.view());
+        let mut got = c0.clone();
+        gemm_packed::<MinPlusSatU16>(&mut got.view_mut(), &a.view(), &b.view());
+        prop_assert!(want.eq_exact(&got), "u16 packed diverged on {}x{}x{}", m, n, k);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
